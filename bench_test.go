@@ -1,0 +1,331 @@
+// Benchmarks regenerating every quantitative element of the paper (see
+// DESIGN.md's per-experiment index) plus the design-choice ablations.
+// Each Benchmark runs the full pipeline per iteration at a reduced-but-
+// faithful scale; run with
+//
+//	go test -bench=. -benchmem
+package sisyphus
+
+import (
+	"testing"
+
+	"sisyphus/internal/causal/synthetic"
+	"sisyphus/internal/experiments"
+	"sisyphus/internal/mathx"
+	"sisyphus/internal/netsim/bgp"
+	"sisyphus/internal/netsim/topo"
+)
+
+// BenchmarkTable1IXPStudy regenerates Table 1: the six-week NAPAfrica case
+// study with robust synthetic control and placebo inference.
+func BenchmarkTable1IXPStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.RunTable1(experiments.Table1Config{
+			Weeks: 4, JoinWeek: 2, Seed: uint64(i), Method: synthetic.Robust,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConfounderAdjustment regenerates the §3 running example
+// (naive vs stratified vs regression vs IPW vs ground truth).
+func BenchmarkConfounderAdjustment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunConfounding(uint64(i), 400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColliderBias regenerates the speed-test collider box.
+func BenchmarkColliderBias(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunCollider(uint64(i), 800); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCellularConfounding regenerates the cellular-reliability box.
+func BenchmarkCellularConfounding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunCellular(uint64(i), 10000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMLabRandomization regenerates the M-Lab randomization contrast.
+func BenchmarkMLabRandomization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunMLab(uint64(i), 400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInstrumentalVariable regenerates the valid/invalid IV contrast.
+func BenchmarkInstrumentalVariable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunInstrument(uint64(i), 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCounterfactual regenerates the abduction-vs-replay comparison.
+func BenchmarkCounterfactual(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunCounterfactual(uint64(i), 600); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExposureVsImpact regenerates the Xaminer-box cable-cut sweep.
+func BenchmarkExposureVsImpact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunExposure(uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIntentTagging regenerates the §4 platform-design demonstration.
+func BenchmarkIntentTagging(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunIntent(uint64(i), 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md "design choices called out for ablation") ---
+
+func scPanel(seed uint64) *synthetic.Panel {
+	r := mathx.NewRNG(seed)
+	nUnits, nTimes := 15, 80
+	units := make([]string, nUnits)
+	times := make([]float64, nTimes)
+	for i := range units {
+		units[i] = string(rune('a' + i))
+	}
+	for t := range times {
+		times[t] = float64(t)
+	}
+	y := mathx.NewMatrix(nUnits, nTimes)
+	loads := make([]float64, nUnits)
+	for i := range loads {
+		loads[i] = 0.5 + r.Float64()
+	}
+	for t := 0; t < nTimes; t++ {
+		f := 20 + 5*r.Float64()
+		for i := 0; i < nUnits; i++ {
+			y.Set(i, t, loads[i]*f+r.Normal(0, 2))
+		}
+	}
+	for t := 60; t < nTimes; t++ {
+		y.Set(0, t, y.At(0, t)-4)
+	}
+	p, err := synthetic.NewPanel(units, times, y)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// BenchmarkAblationRobustVsClassicSC compares the two synthetic-control
+// variants on the same noisy panel.
+func BenchmarkAblationRobustVsClassicSC(b *testing.B) {
+	b.Run("classic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := scPanel(uint64(i))
+			if _, err := synthetic.Fit(p, "a", 60, synthetic.Config{Method: synthetic.Classic}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("robust", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := scPanel(uint64(i))
+			if _, err := synthetic.Fit(p, "a", 60, synthetic.Config{Method: synthetic.Robust}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationPlaceboVsTTest compares placebo inference against the
+// naive pre/post t-test on the same panel.
+func BenchmarkAblationPlaceboVsTTest(b *testing.B) {
+	b.Run("placebo", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := scPanel(uint64(i))
+			if _, err := synthetic.PlaceboTest(p, "a", 60, synthetic.Config{Method: synthetic.Robust}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepost-ttest", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := scPanel(uint64(i))
+			if _, _, err := synthetic.PrePostTTest(p, "a", 60); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationAdjustmentMethods compares the backdoor estimators on an
+// identical confounded sample (generated once per iteration).
+func BenchmarkAblationAdjustmentMethods(b *testing.B) {
+	gen := func(seed uint64) *Study {
+		s := NewStudy("bench")
+		if err := s.WithGraphText("C -> R; C -> L; R -> L"); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Effect("R", "L"); err != nil {
+			b.Fatal(err)
+		}
+		s.WithData(confoundedFrame(seed, 5000, 3))
+		return s
+	}
+	for _, m := range []struct {
+		name   string
+		method EstimationMethod
+	}{
+		{"naive", Naive},
+		{"stratified", BackdoorStratified},
+		{"regression", BackdoorRegression},
+		{"ipw", BackdoorIPW},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := gen(uint64(i))
+				if _, err := s.EstimateEffect(m.method); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationIncrementalBGP compares full route recomputation after a
+// single link failure against the incremental recompute.
+func BenchmarkAblationIncrementalBGP(b *testing.B) {
+	r := mathx.NewRNG(1)
+	cfg := topo.GenConfig{Tier1: 4, Tier2: 10, Access: 40, Content: 5, MultihomeProb: 0.5, PeerProb: 0.3}
+	tp, err := topo.Generate(r, cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rib, err := bgp.Compute(tp, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	links := tp.Links()
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pol := bgp.NewPolicy()
+			pol.DenyLink[links[i%len(links)].ID] = true
+			if _, err := bgp.Compute(tp, pol); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rib.RecomputeAfterLinkFailure(links[i%len(links)].ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Microbenchmarks for the core primitives ---
+
+func BenchmarkDSeparation(b *testing.B) {
+	r := mathx.NewRNG(3)
+	g := randomBenchDAG(r, 12, 0.3)
+	nodes := g.Nodes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := nodes[i%len(nodes)]
+		y := nodes[(i+5)%len(nodes)]
+		g.DSeparated(x, y, nodes[:2])
+	}
+}
+
+func BenchmarkBGPFullCompute(b *testing.B) {
+	r := mathx.NewRNG(4)
+	tp, err := topo.Generate(r, topo.DefaultGenConfig(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bgp.Compute(tp, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSVD(b *testing.B) {
+	r := mathx.NewRNG(5)
+	m := mathx.NewMatrix(40, 20)
+	for i := range m.Data {
+		m.Data[i] = r.Normal(0, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mathx.ComputeSVD(m)
+	}
+}
+
+// BenchmarkRootCauseReplay regenerates the §1 postmortem (three replayed
+// worlds per iteration).
+func BenchmarkRootCauseReplay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunRootCause(uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFamilyToggleIV regenerates the §4 IPv4/IPv6 knob experiment.
+func BenchmarkFamilyToggleIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFamilyKnob(uint64(i), 400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiDvsSC regenerates the DiD-vs-synthetic-control contrast.
+func BenchmarkDiDvsSC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunDiD(uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPowerAnalysis regenerates the §4 design-planning power curve.
+func BenchmarkPowerAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunPower(uint64(i), 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTromboneEraContrast regenerates the two-era comparison.
+func BenchmarkTromboneEraContrast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTromboneEra(uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Command dagtool analyzes a causal DAG the way §4 recommends doing before
+// any measurement: it prints backdoor paths, minimal adjustment sets,
+// instruments, colliders, testable implications, and Graphviz output.
+//
+// Usage:
+//
+//	dagtool -graph 'C -> R; C -> L; R -> L' -effect R,L
+//	dagtool -graph 'U [latent]; U -> R; U -> L; Z -> R; R -> L' -effect R,L -dot
+//	echo 'C -> R -> L; C -> L' | dagtool -effect R,L
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"sisyphus/internal/causal/dag"
+)
+
+func main() {
+	var (
+		graphText = flag.String("graph", "", "DAG in text syntax (reads stdin if empty)")
+		effect    = flag.String("effect", "", "treatment,outcome pair")
+		dot       = flag.Bool("dot", false, "print Graphviz DOT and exit")
+		blanket   = flag.String("markov-blanket", "", "print the Markov blanket of a node")
+	)
+	flag.Parse()
+
+	text := *graphText
+	if text == "" {
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dagtool:", err)
+			os.Exit(1)
+		}
+		text = string(b)
+	}
+	g, err := dag.Parse(text)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dagtool:", err)
+		os.Exit(1)
+	}
+	if *dot {
+		fmt.Print(g.DOT())
+		return
+	}
+
+	fmt.Printf("nodes: %v\n", g.Nodes())
+	fmt.Printf("edges: %v\n", g.Edges())
+	if cis := g.ImpliedIndependencies(); len(cis) > 0 {
+		fmt.Println("testable implications:")
+		for _, ci := range cis {
+			fmt.Printf("  %s\n", ci)
+		}
+	}
+	if cols := g.Colliders(); len(cols) > 0 {
+		fmt.Println("colliders (do not condition on these without care):")
+		for _, c := range cols {
+			fmt.Printf("  %s -> %s <- %s\n", c.Left, c.Mid, c.Right)
+		}
+	}
+
+	if *blanket != "" {
+		fmt.Printf("markov blanket of %s: %v\n", *blanket, g.MarkovBlanket(*blanket))
+	}
+	if *effect == "" {
+		return
+	}
+	parts := strings.Split(*effect, ",")
+	if len(parts) != 2 {
+		fmt.Fprintln(os.Stderr, "dagtool: -effect wants 'treatment,outcome'")
+		os.Exit(2)
+	}
+	x, y := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+	fmt.Printf("\neffect: %s -> %s\n", x, y)
+	fmt.Println("backdoor paths:")
+	for _, p := range g.BackdoorPaths(x, y) {
+		fmt.Printf("  %s\n", p)
+	}
+	if sets, err := g.MinimalAdjustmentSets(x, y); err == nil {
+		fmt.Printf("minimal adjustment sets: %v\n", sets)
+	} else {
+		fmt.Printf("backdoor adjustment unavailable: %v\n", err)
+	}
+	if ivs := g.Instruments(x, y); len(ivs) > 0 {
+		fmt.Printf("instruments: %v\n", ivs)
+	} else {
+		fmt.Println("instruments: none")
+	}
+	// Frontdoor options when backdoor fails: single observed mediators.
+	var mediators []string
+	for _, m := range g.ObservedNodes() {
+		if m == x || m == y {
+			continue
+		}
+		if g.SatisfiesFrontdoor(x, y, []string{m}) {
+			mediators = append(mediators, m)
+		}
+	}
+	if len(mediators) > 0 {
+		fmt.Printf("frontdoor mediators: %v\n", mediators)
+	}
+}

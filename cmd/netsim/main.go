@@ -1,0 +1,93 @@
+// Command netsim runs the simulated South African Internet standalone and
+// dumps a measurement CSV — useful for analyzing the synthetic data with
+// external tools or inspecting the world the experiments run on.
+//
+// Usage:
+//
+//	netsim -hours 168 -seed 7 > measurements.csv
+//	netsim -hours 336 -join 168 -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sisyphus/internal/mathx"
+	"sisyphus/internal/netsim/engine"
+	"sisyphus/internal/netsim/scenario"
+	"sisyphus/internal/platform"
+	"sisyphus/internal/probe"
+)
+
+func main() {
+	var (
+		hours    = flag.Float64("hours", 168, "simulated hours")
+		join     = flag.Float64("join", 0, "hour at which treated ASes join the IXP (0 = never)")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		summary  = flag.Bool("summary", false, "print per-unit RTT summaries instead of CSV")
+		describe = flag.Bool("describe", false, "print per-column statistics instead of CSV")
+	)
+	flag.Parse()
+
+	s, err := scenario.BuildSouthAfrica()
+	if err != nil {
+		fail(err)
+	}
+	e := engine.New(s.Topo, *seed, engine.Config{AdaptiveEgress: true})
+	pr := probe.NewProber(e, *seed+1)
+	if *join > 0 {
+		for _, asn := range s.TreatedASNs {
+			e.Schedule(engine.EvJoinIXP(*join, s.IXPName, asn, 0.02))
+		}
+	}
+	var pops []platform.UserPop
+	for _, u := range s.AllUnits() {
+		src, err := s.UserPoP(u)
+		if err != nil {
+			fail(err)
+		}
+		pops = append(pops, platform.UserPop{Src: src, Dst: scenario.BigContent, Size: 1})
+	}
+	um := platform.NewUserModel(pops, *seed+2)
+	store := platform.NewStore()
+	for e.Hour() < *hours {
+		if err := e.Step(); err != nil {
+			fail(err)
+		}
+		_, ms, err := um.Step(pr)
+		if err != nil {
+			fail(err)
+		}
+		store.Add(ms...)
+	}
+
+	if *summary {
+		fmt.Printf("%d measurements over %.0f hours from %d units\n\n", store.Len(), *hours, len(pops))
+		for _, u := range store.Units() {
+			ms := store.Filter(func(m *probe.Measurement) bool {
+				return m.SrcASN == u.ASN && m.SrcCity == u.City
+			})
+			rtts := make([]float64, len(ms))
+			for i, m := range ms {
+				rtts[i] = m.RTTms
+			}
+			sum := mathx.Summarize(rtts)
+			fmt.Printf("  %-28s n=%4d  median=%6.2f ms  p95=%6.2f ms\n", u, sum.N, sum.Median, sum.P95)
+		}
+		return
+	}
+	frame := platform.Frame(store.All())
+	if *describe {
+		fmt.Print(frame.Describe())
+		return
+	}
+	if err := frame.WriteCSV(os.Stdout); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "netsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// Command sisyphus runs the paper-reproduction experiments and prints their
+// tables.
+//
+// Usage:
+//
+//	sisyphus -list
+//	sisyphus -experiment table1 [-seed 42]
+//	sisyphus -all
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"sisyphus/internal/experiments"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments")
+		exp    = flag.String("experiment", "", "experiment id to run")
+		all    = flag.Bool("all", false, "run every experiment")
+		seed   = flag.Uint64("seed", 42, "random seed")
+		asJSON = flag.Bool("json", false, "emit results as JSON instead of tables")
+	)
+	flag.Parse()
+
+	emit := func(res experiments.Renderable) {
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				fmt.Fprintln(os.Stderr, "sisyphus:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Println(res.Render())
+	}
+
+	switch {
+	case *list:
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-16s %s\n", e.ID, e.Paper)
+		}
+	case *all:
+		for _, e := range experiments.All() {
+			fmt.Printf("=== %s: %s ===\n\n", e.ID, e.Paper)
+			res, err := e.Run(*seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sisyphus: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			emit(res)
+		}
+	case *exp != "":
+		e, err := experiments.Get(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sisyphus:", err)
+			os.Exit(2)
+		}
+		res, err := e.Run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sisyphus: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		emit(res)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,28 @@
+// outage_postmortem replays the paper's opening war stories (the 2021
+// Facebook disappearance, the 2022 Rogers misdiagnosis): an access-side
+// congestion surge coincides with a content network withdrawing all of its
+// uplinks, dashboards light up everywhere, and correlation points at the
+// wrong layer. Counterfactual replay — removing one candidate cause at a
+// time from an otherwise-identical world — settles the attribution the way
+// no amount of additional monitoring could.
+//
+// Run with: go run ./examples/outage_postmortem
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sisyphus/internal/experiments"
+)
+
+func main() {
+	fmt.Println("Simulating the incident: a demand surge AND a total route withdrawal")
+	fmt.Println("land in the same half-day window. Which one took the users down?")
+	fmt.Println()
+	res, err := experiments.RunRootCause(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Render())
+}

@@ -1,0 +1,3 @@
+module sisyphus
+
+go 1.22

@@ -1,0 +1,209 @@
+package dag
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BackdoorPaths returns every simple path between treatment x and outcome y
+// that begins with an edge INTO x — the "backdoor" routes along which
+// confounding travels (e.g. R ← C → L in the paper's running example).
+func (g *Graph) BackdoorPaths(x, y string) []Path {
+	var out []Path
+	for _, p := range g.Paths(x, y) {
+		if len(p.Forward) > 0 && !p.Forward[0] { // first edge points into x
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SatisfiesBackdoor reports whether the conditioning set satisfies the
+// backdoor criterion for estimating the effect of x on y:
+//
+//  1. no member of the set is a descendant of x, and
+//  2. the set blocks every backdoor path from x to y.
+func (g *Graph) SatisfiesBackdoor(x, y string, set []string) bool {
+	desc := toSet(g.Descendants(x))
+	for _, s := range set {
+		if s == x || s == y || desc[s] {
+			return false
+		}
+	}
+	for _, p := range g.BackdoorPaths(x, y) {
+		if !g.Blocked(p, set) {
+			return false
+		}
+	}
+	return true
+}
+
+// AdjustmentSearchLimit caps how many candidate variables the exhaustive
+// adjustment-set search will consider before refusing. Planning DAGs in
+// measurement studies have a handful of named variables; if a graph exceeds
+// this, the question should be decomposed rather than brute-forced.
+const AdjustmentSearchLimit = 20
+
+// MinimalAdjustmentSets enumerates every minimal observed adjustment set
+// satisfying the backdoor criterion for x → y, ordered by size then
+// lexicographically. An empty inner slice means "no adjustment needed".
+// It returns an error if the candidate pool exceeds AdjustmentSearchLimit
+// or if no valid observed set exists (e.g. a latent confounder).
+func (g *Graph) MinimalAdjustmentSets(x, y string) ([][]string, error) {
+	if !g.Has(x) || !g.Has(y) {
+		return nil, fmt.Errorf("dag: unknown node in (%q, %q)", x, y)
+	}
+	desc := toSet(g.Descendants(x))
+	var candidates []string
+	for _, n := range g.ObservedNodes() {
+		if n == x || n == y || desc[n] {
+			continue
+		}
+		candidates = append(candidates, n)
+	}
+	sort.Strings(candidates)
+	if len(candidates) > AdjustmentSearchLimit {
+		return nil, fmt.Errorf("dag: %d adjustment candidates exceeds search limit %d",
+			len(candidates), AdjustmentSearchLimit)
+	}
+
+	var valid [][]string
+	// Enumerate subsets in order of increasing size so minimality can be
+	// checked against earlier results only.
+	for size := 0; size <= len(candidates); size++ {
+		combos(candidates, size, func(set []string) {
+			for _, earlier := range valid {
+				if isSubset(earlier, set) {
+					return // a subset already works: not minimal
+				}
+			}
+			if g.SatisfiesBackdoor(x, y, set) {
+				valid = append(valid, append([]string(nil), set...))
+			}
+		})
+	}
+	if len(valid) == 0 {
+		return nil, fmt.Errorf("dag: effect of %s on %s is not identifiable by observed backdoor adjustment", x, y)
+	}
+	return valid, nil
+}
+
+// Confounders returns the observed variables that lie on at least one
+// backdoor path between x and y (excluding the endpoints) — the variables
+// the paper's §3 warns must be adjusted for.
+func (g *Graph) Confounders(x, y string) []string {
+	seen := make(map[string]bool)
+	for _, p := range g.BackdoorPaths(x, y) {
+		for i := 1; i < len(p.Nodes)-1; i++ {
+			n := p.Nodes[i]
+			if !g.IsLatent(n) {
+				seen[n] = true
+			}
+		}
+	}
+	return sortedKeys(seen)
+}
+
+// SatisfiesFrontdoor reports whether mediator set M satisfies Pearl's
+// frontdoor criterion for x → y:
+//
+//  1. M intercepts every directed path from x to y;
+//  2. there is no unblocked backdoor path from x to M; and
+//  3. every backdoor path from M to y is blocked by x.
+func (g *Graph) SatisfiesFrontdoor(x, y string, mediators []string) bool {
+	m := toSet(mediators)
+	if m[x] || m[y] {
+		return false
+	}
+	// (1) every directed path x ⇒ y passes through M.
+	for _, p := range g.directedPaths(x, y) {
+		hit := false
+		for i := 1; i < len(p)-1; i++ {
+			if m[p[i]] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+	}
+	// (2) no active backdoor path x → each mediator, unconditionally.
+	for _, med := range mediators {
+		for _, p := range g.BackdoorPaths(x, med) {
+			if !g.Blocked(p, nil) {
+				return false
+			}
+		}
+	}
+	// (3) x blocks every backdoor path from each mediator to y.
+	for _, med := range mediators {
+		for _, p := range g.BackdoorPaths(med, y) {
+			if !g.Blocked(p, []string{x}) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// directedPaths enumerates simple directed paths from x to y.
+func (g *Graph) directedPaths(x, y string) [][]string {
+	var out [][]string
+	var cur []string
+	inPath := map[string]bool{x: true}
+	cur = append(cur, x)
+	var rec func(n string)
+	rec = func(n string) {
+		if n == y {
+			out = append(out, append([]string(nil), cur...))
+			return
+		}
+		for _, c := range sortedKeys(g.children[n]) {
+			if inPath[c] {
+				continue
+			}
+			inPath[c] = true
+			cur = append(cur, c)
+			rec(c)
+			cur = cur[:len(cur)-1]
+			delete(inPath, c)
+		}
+	}
+	rec(x)
+	return out
+}
+
+// combos calls fn with each size-k subset of xs (in lexicographic order).
+// The slice passed to fn is reused; fn must copy if it retains it.
+func combos(xs []string, k int, fn func([]string)) {
+	if k == 0 {
+		fn(nil)
+		return
+	}
+	idx := make([]int, k)
+	set := make([]string, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			fn(set)
+			return
+		}
+		for i := start; i <= len(xs)-(k-depth); i++ {
+			idx[depth] = i
+			set[depth] = xs[i]
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+}
+
+func isSubset(sub, super []string) bool {
+	s := toSet(super)
+	for _, x := range sub {
+		if !s[x] {
+			return false
+		}
+	}
+	return true
+}

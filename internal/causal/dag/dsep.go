@@ -1,0 +1,190 @@
+package dag
+
+// DSeparated reports whether x and y are d-separated given the conditioning
+// set. It implements the linear-time "reachable" procedure (Bayes-ball):
+// y is d-separated from x given Z iff no active trail connects them.
+//
+// Conventions: if x == y they are never separated; members of the
+// conditioning set are separated from everything (conditioning on a variable
+// fixes it).
+func (g *Graph) DSeparated(x, y string, given []string) bool {
+	if x == y {
+		return false
+	}
+	z := toSet(given)
+	if z[x] || z[y] {
+		return true
+	}
+	reach := g.reachable(x, z)
+	return !reach[y]
+}
+
+// DConnected is the negation of DSeparated.
+func (g *Graph) DConnected(x, y string, given []string) bool {
+	return !g.DSeparated(x, y, given)
+}
+
+// reachable returns the set of nodes reachable from x via trails that are
+// active given evidence z (Koller & Friedman, Algorithm 3.1).
+func (g *Graph) reachable(x string, z map[string]bool) map[string]bool {
+	// Ancestors of the evidence (inclusive): needed to know which colliders
+	// are opened by conditioning on a descendant.
+	anZ := g.ancestorSet(z, true)
+
+	type visit struct {
+		node string
+		up   bool // true: we arrived travelling child → parent
+	}
+	visited := make(map[visit]bool)
+	reached := make(map[string]bool)
+	queue := []visit{{x, true}}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if visited[v] {
+			continue
+		}
+		visited[v] = true
+		if !z[v.node] {
+			reached[v.node] = true
+		}
+		if v.up {
+			if !z[v.node] {
+				for p := range g.parents[v.node] {
+					queue = append(queue, visit{p, true})
+				}
+				for c := range g.children[v.node] {
+					queue = append(queue, visit{c, false})
+				}
+			}
+		} else {
+			if !z[v.node] {
+				for c := range g.children[v.node] {
+					queue = append(queue, visit{c, false})
+				}
+			}
+			if anZ[v.node] {
+				// v is a collider (or leads to one) whose activation is
+				// licensed because it is an ancestor of the evidence.
+				for p := range g.parents[v.node] {
+					queue = append(queue, visit{p, true})
+				}
+			}
+		}
+	}
+	return reached
+}
+
+// Path is an undirected path through the DAG, annotated with the direction
+// of each traversed edge.
+type Path struct {
+	Nodes []string
+	// Forward[i] is true if the edge between Nodes[i] and Nodes[i+1] points
+	// Nodes[i] → Nodes[i+1].
+	Forward []bool
+}
+
+// String renders the path with arrows, e.g. "R <- C -> L".
+func (p Path) String() string {
+	if len(p.Nodes) == 0 {
+		return ""
+	}
+	s := p.Nodes[0]
+	for i := 1; i < len(p.Nodes); i++ {
+		if p.Forward[i-1] {
+			s += " -> "
+		} else {
+			s += " <- "
+		}
+		s += p.Nodes[i]
+	}
+	return s
+}
+
+// Paths enumerates every simple undirected path between x and y. Exponential
+// in the worst case; intended for the small planning DAGs this package is
+// built for.
+func (g *Graph) Paths(x, y string) []Path {
+	var out []Path
+	inPath := map[string]bool{x: true}
+	var nodes []string
+	var dirs []bool
+	nodes = append(nodes, x)
+	var rec func(cur string)
+	rec = func(cur string) {
+		if cur == y {
+			p := Path{Nodes: append([]string(nil), nodes...), Forward: append([]bool(nil), dirs...)}
+			out = append(out, p)
+			return
+		}
+		for _, c := range sortedKeys(g.children[cur]) {
+			if inPath[c] {
+				continue
+			}
+			inPath[c] = true
+			nodes = append(nodes, c)
+			dirs = append(dirs, true)
+			rec(c)
+			nodes = nodes[:len(nodes)-1]
+			dirs = dirs[:len(dirs)-1]
+			delete(inPath, c)
+		}
+		for _, p := range sortedKeys(g.parents[cur]) {
+			if inPath[p] {
+				continue
+			}
+			inPath[p] = true
+			nodes = append(nodes, p)
+			dirs = append(dirs, false)
+			rec(p)
+			nodes = nodes[:len(nodes)-1]
+			dirs = dirs[:len(dirs)-1]
+			delete(inPath, p)
+		}
+	}
+	rec(x)
+	return out
+}
+
+// Blocked reports whether the path is blocked by the conditioning set z
+// under the d-separation rules: a non-collider on the path blocks if it is
+// in z; a collider blocks unless it, or one of its descendants, is in z.
+func (g *Graph) Blocked(p Path, given []string) bool {
+	z := toSet(given)
+	for i := 1; i < len(p.Nodes)-1; i++ {
+		// Forward[i-1] true means Nodes[i-1] -> Nodes[i], i.e. edge points INTO i.
+		arrowInFromLeft := p.Forward[i-1]
+		arrowInFromRight := !p.Forward[i]
+		collider := arrowInFromLeft && arrowInFromRight
+		node := p.Nodes[i]
+		if collider {
+			if !z[node] && !g.anyDescendantIn(node, z) {
+				return true
+			}
+		} else if z[node] {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *Graph) anyDescendantIn(node string, z map[string]bool) bool {
+	for _, d := range g.Descendants(node) {
+		if z[d] {
+			return true
+		}
+	}
+	return false
+}
+
+// ActivePaths returns the subset of simple paths between x and y that are
+// active (unblocked) given the conditioning set.
+func (g *Graph) ActivePaths(x, y string, given []string) []Path {
+	var out []Path
+	for _, p := range g.Paths(x, y) {
+		if !g.Blocked(p, given) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Parse builds a graph from a compact textual description. The format is a
+// semicolon- or newline-separated list of statements:
+//
+//	C -> R; C -> L; R -> L      edges (chains "A -> B -> C" are allowed)
+//	U [latent]                  node attribute
+//	# comment                   ignored
+//
+// Node names are any whitespace-free tokens other than "->".
+func Parse(text string) (*Graph, error) {
+	g := New()
+	split := func(r rune) bool { return r == ';' || r == '\n' }
+	for _, stmt := range strings.FieldsFunc(text, split) {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" || strings.HasPrefix(stmt, "#") {
+			continue
+		}
+		if strings.Contains(stmt, "->") {
+			parts := strings.Split(stmt, "->")
+			var prev string
+			for i, raw := range parts {
+				name := strings.TrimSpace(raw)
+				if name == "" {
+					return nil, fmt.Errorf("dag: empty node name in %q", stmt)
+				}
+				if strings.ContainsAny(name, " \t[]") {
+					return nil, fmt.Errorf("dag: invalid node name %q in %q", name, stmt)
+				}
+				if i > 0 {
+					if err := g.AddEdge(prev, name); err != nil {
+						return nil, err
+					}
+				}
+				prev = name
+			}
+			continue
+		}
+		// Node declaration, optionally with attributes.
+		name := stmt
+		latent := false
+		if i := strings.Index(stmt, "["); i >= 0 {
+			j := strings.Index(stmt, "]")
+			if j < i {
+				return nil, fmt.Errorf("dag: malformed attributes in %q", stmt)
+			}
+			attrs := strings.Split(stmt[i+1:j], ",")
+			name = strings.TrimSpace(stmt[:i])
+			for _, a := range attrs {
+				switch strings.TrimSpace(a) {
+				case "latent", "unobserved":
+					latent = true
+				case "":
+				default:
+					return nil, fmt.Errorf("dag: unknown attribute %q in %q", a, stmt)
+				}
+			}
+		}
+		if name == "" || strings.ContainsAny(name, " \t") {
+			return nil, fmt.Errorf("dag: invalid node declaration %q", stmt)
+		}
+		g.AddNode(name)
+		if latent {
+			g.SetLatent(name, true)
+		}
+	}
+	return g, nil
+}
+
+// MustParse is Parse that panics on error; for static graph literals.
+func MustParse(text string) *Graph {
+	g, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// DOT renders the graph in Graphviz DOT syntax. Latent nodes are dashed.
+func (g *Graph) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("digraph causal {\n")
+	sb.WriteString("  rankdir=LR;\n")
+	for _, n := range g.order {
+		if g.nodes[n].Latent {
+			fmt.Fprintf(&sb, "  %q [style=dashed];\n", n)
+		} else {
+			fmt.Fprintf(&sb, "  %q;\n", n)
+		}
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, "  %q -> %q;\n", e[0], e[1])
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// CI is a conditional-independence statement X ⊥ Y | Given implied by the
+// graph — a testable implication of the causal model.
+type CI struct {
+	X, Y  string
+	Given []string
+}
+
+// String renders the statement, e.g. "R _||_ M | C".
+func (c CI) String() string {
+	s := c.X + " _||_ " + c.Y
+	if len(c.Given) > 0 {
+		s += " | " + strings.Join(c.Given, ", ")
+	}
+	return s
+}
+
+// ImpliedIndependencies lists the conditional independencies implied by the
+// graph among observed variables, one per non-adjacent observed pair, using
+// the union of the pair's parents as the conditioning set (the pairwise
+// Markov property for DAGs). These are the "assumptions made visible" that
+// §3 argues every measurement study should publish and test.
+func (g *Graph) ImpliedIndependencies() []CI {
+	var out []CI
+	obs := g.ObservedNodes()
+	for i := 0; i < len(obs); i++ {
+		for j := i + 1; j < len(obs); j++ {
+			a, b := obs[i], obs[j]
+			if g.HasEdge(a, b) || g.HasEdge(b, a) {
+				continue
+			}
+			givenSet := make(map[string]bool)
+			for _, p := range g.Parents(a) {
+				if !g.IsLatent(p) && p != b {
+					givenSet[p] = true
+				}
+			}
+			for _, p := range g.Parents(b) {
+				if !g.IsLatent(p) && p != a {
+					givenSet[p] = true
+				}
+			}
+			given := sortedKeys(givenSet)
+			if g.DSeparated(a, b, given) {
+				out = append(out, CI{X: a, Y: b, Given: given})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].X != out[j].X {
+			return out[i].X < out[j].X
+		}
+		return out[i].Y < out[j].Y
+	})
+	return out
+}

@@ -1,0 +1,155 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFromColumnsAndAccess(t *testing.T) {
+	f, err := FromColumns(map[string][]float64{
+		"rtt":   {10, 20, 30},
+		"route": {0, 1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 3 {
+		t.Fatalf("len = %d", f.Len())
+	}
+	if got := f.MustColumn("rtt")[1]; got != 20 {
+		t.Fatalf("rtt[1] = %v", got)
+	}
+	if _, ok := f.Column("nope"); ok {
+		t.Fatal("missing column reported present")
+	}
+	if !f.Has("route") {
+		t.Fatal("Has failed")
+	}
+}
+
+func TestLengthMismatchRejected(t *testing.T) {
+	if _, err := FromColumns(map[string][]float64{"a": {1}, "b": {1, 2}}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	f := New()
+	if err := f.AddColumn("a", []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddColumn("a", []float64{3, 4}); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+}
+
+func TestAppendRow(t *testing.T) {
+	f := New()
+	if err := f.AppendRow(map[string]float64{"x": 1, "y": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AppendRow(map[string]float64{"x": 3, "y": 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AppendRow(map[string]float64{"x": 5}); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if f.Len() != 2 {
+		t.Fatalf("len = %d", f.Len())
+	}
+	if got := f.Row(1)["y"]; got != 4 {
+		t.Fatalf("row(1).y = %v", got)
+	}
+}
+
+func TestFilterSelectGroup(t *testing.T) {
+	f, _ := FromColumns(map[string][]float64{
+		"rtt":     {10, 50, 20, 60},
+		"treated": {0, 1, 0, 1},
+	})
+	hi := f.Filter(func(r map[string]float64) bool { return r["treated"] == 1 })
+	if hi.Len() != 2 || hi.MustColumn("rtt")[0] != 50 {
+		t.Fatalf("filter = %v", hi.MustColumn("rtt"))
+	}
+	sel, err := f.Select("rtt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Columns()) != 1 {
+		t.Fatalf("select cols = %v", sel.Columns())
+	}
+	if _, err := f.Select("missing"); err == nil {
+		t.Fatal("select of missing column accepted")
+	}
+	keys, groups := f.GroupBy("treated")
+	if len(keys) != 2 || keys[0] != 0 || keys[1] != 1 {
+		t.Fatalf("keys = %v", keys)
+	}
+	if got := f.Gather("rtt", groups[1]); got[0] != 50 || got[1] != 60 {
+		t.Fatalf("gather = %v", got)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	f, _ := FromColumns(map[string][]float64{
+		"a": {1.5, -2, 3e10},
+		"b": {0, 0.25, -1},
+	})
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != f.Len() {
+		t.Fatalf("round trip len = %d", g.Len())
+	}
+	for _, name := range f.Columns() {
+		a := f.MustColumn(name)
+		b := g.MustColumn(name)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("col %s row %d: %v != %v", name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,notanumber\n")); err == nil {
+		t.Fatal("non-numeric accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestMustColumnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().MustColumn("x")
+}
+
+func TestDescribe(t *testing.T) {
+	f, _ := FromColumns(map[string][]float64{
+		"rtt": {1, 2, 3, 4},
+		"one": {5},
+	})
+	_ = f // lengths differ: FromColumns must have failed
+	g, err := FromColumns(map[string][]float64{"rtt": {1, 2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := g.Describe()
+	if !strings.Contains(out, "rtt") || !strings.Contains(out, "2.500") {
+		t.Fatalf("describe = %q", out)
+	}
+	empty := New()
+	_ = empty.AddColumn("x", nil)
+	if d := empty.Describe(); !strings.Contains(d, "x") {
+		t.Fatalf("empty describe = %q", d)
+	}
+}

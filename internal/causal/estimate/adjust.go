@@ -1,0 +1,201 @@
+package estimate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sisyphus/internal/causal/data"
+	"sisyphus/internal/mathx"
+)
+
+// NaiveAssociation contrasts mean outcome between treated (treatment == 1)
+// and control (== 0) rows with no adjustment — rung 1 of the ladder, the
+// P(L | R) comparison of the running example. It answers "what do we see?",
+// not "what does the treatment do?".
+func NaiveAssociation(f *data.Frame, treatment, outcome string) (Estimate, error) {
+	tr := f.MustColumn(treatment)
+	y := f.MustColumn(outcome)
+	var y1, y0 []float64
+	for i, t := range tr {
+		if t == 1 {
+			y1 = append(y1, y[i])
+		} else if t == 0 {
+			y0 = append(y0, y[i])
+		}
+	}
+	if len(y1) == 0 || len(y0) == 0 {
+		return Estimate{}, ErrNoVariation
+	}
+	s1 := mathx.Summarize(y1)
+	s0 := mathx.Summarize(y0)
+	se := math.Sqrt(s1.Var/float64(s1.N) + s0.Var/float64(s0.N))
+	return Estimate{
+		Method: "naive difference in means",
+		Effect: s1.Mean - s0.Mean,
+		SE:     se,
+		N:      len(y1) + len(y0),
+	}, nil
+}
+
+// Stratified estimates the ATE by backdoor stratification: rows are binned
+// on each adjustment variable (quantile bins), the treated-control contrast
+// is computed within each stratum, and strata are combined weighted by
+// size. Strata lacking both arms are dropped and reported in Detail.
+// This is the paper's "comparing latencies across routes only when C is
+// similar, e.g. at comparable load levels".
+func Stratified(f *data.Frame, treatment, outcome string, adjust []string, bins int) (Estimate, error) {
+	if bins < 1 {
+		return Estimate{}, fmt.Errorf("estimate: bins must be >= 1, got %d", bins)
+	}
+	if len(adjust) == 0 {
+		return NaiveAssociation(f, treatment, outcome)
+	}
+	n := f.Len()
+	tr := f.MustColumn(treatment)
+	y := f.MustColumn(outcome)
+
+	// Compute per-row stratum key as the concatenation of bin indices.
+	keys := make([]string, n)
+	for _, a := range adjust {
+		col, ok := f.Column(a)
+		if !ok {
+			return Estimate{}, fmt.Errorf("estimate: no adjustment column %q", a)
+		}
+		cuts := quantileCuts(col, bins)
+		for i, v := range col {
+			keys[i] = keys[i] + "/" + fmt.Sprint(binOf(v, cuts))
+		}
+	}
+	type stratum struct{ y1, y0 []float64 }
+	strata := make(map[string]*stratum)
+	for i := 0; i < n; i++ {
+		s := strata[keys[i]]
+		if s == nil {
+			s = &stratum{}
+			strata[keys[i]] = s
+		}
+		switch tr[i] {
+		case 1:
+			s.y1 = append(s.y1, y[i])
+		case 0:
+			s.y0 = append(s.y0, y[i])
+		}
+	}
+	var totalW float64
+	var eff, varSum float64
+	used, dropped := 0, 0
+	names := make([]string, 0, len(strata))
+	for k := range strata {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		s := strata[k]
+		if len(s.y1) == 0 || len(s.y0) == 0 {
+			dropped += len(s.y1) + len(s.y0)
+			continue
+		}
+		w := float64(len(s.y1) + len(s.y0))
+		d1 := mathx.Summarize(s.y1)
+		d0 := mathx.Summarize(s.y0)
+		eff += w * (d1.Mean - d0.Mean)
+		v := d1.Var/float64(d1.N) + d0.Var/float64(d0.N)
+		varSum += w * w * v
+		totalW += w
+		used += int(w)
+	}
+	if totalW == 0 {
+		return Estimate{}, fmt.Errorf("estimate: no stratum has both treated and control units")
+	}
+	return Estimate{
+		Method: fmt.Sprintf("stratified backdoor adjustment (%d bins)", bins),
+		Effect: eff / totalW,
+		SE:     math.Sqrt(varSum) / totalW,
+		N:      used,
+		Detail: fmt.Sprintf("%d rows in off-support strata dropped", dropped),
+	}, nil
+}
+
+// quantileCuts returns the interior cut points splitting col into `bins`
+// quantile bins.
+func quantileCuts(col []float64, bins int) []float64 {
+	cuts := make([]float64, 0, bins-1)
+	for b := 1; b < bins; b++ {
+		cuts = append(cuts, mathx.Quantile(col, float64(b)/float64(bins)))
+	}
+	return cuts
+}
+
+func binOf(v float64, cuts []float64) int {
+	for i, c := range cuts {
+		if v <= c {
+			return i
+		}
+	}
+	return len(cuts)
+}
+
+// Regression estimates the treatment effect by OLS covariate adjustment:
+// outcome ~ treatment + adjust..., reading off the treatment coefficient
+// with HC1 robust standard errors.
+func Regression(f *data.Frame, treatment, outcome string, adjust []string) (Estimate, error) {
+	res, err := OLS(f, outcome, append([]string{treatment}, adjust...)...)
+	if err != nil {
+		return Estimate{}, err
+	}
+	coef, err := res.Coefficient(treatment)
+	if err != nil {
+		return Estimate{}, err
+	}
+	se, err := res.CoefficientSE(treatment)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{
+		Method: "OLS covariate adjustment",
+		Effect: coef,
+		SE:     se,
+		N:      res.N,
+		Detail: fmt.Sprintf("R²=%.3f", res.R2),
+	}, nil
+}
+
+// DifferenceInDifferences estimates the treatment effect from a 2×2 panel:
+// group (treated vs control) × period (pre vs post). It removes any fixed
+// level difference between groups and any common shock between periods:
+// (ȳ_treated,post − ȳ_treated,pre) − (ȳ_control,post − ȳ_control,pre).
+// Columns: group ∈ {0,1}, post ∈ {0,1}.
+func DifferenceInDifferences(f *data.Frame, group, post, outcome string) (Estimate, error) {
+	g := f.MustColumn(group)
+	p := f.MustColumn(post)
+	y := f.MustColumn(outcome)
+	var cells [2][2][]float64
+	for i := range y {
+		gi, pi := int(g[i]), int(p[i])
+		if (gi != 0 && gi != 1) || (pi != 0 && pi != 1) {
+			return Estimate{}, fmt.Errorf("estimate: DiD needs binary group/post, got (%v, %v)", g[i], p[i])
+		}
+		cells[gi][pi] = append(cells[gi][pi], y[i])
+	}
+	var mean [2][2]float64
+	var varOverN [2][2]float64
+	for gi := 0; gi < 2; gi++ {
+		for pi := 0; pi < 2; pi++ {
+			if len(cells[gi][pi]) == 0 {
+				return Estimate{}, fmt.Errorf("estimate: DiD cell (group=%d, post=%d) is empty", gi, pi)
+			}
+			s := mathx.Summarize(cells[gi][pi])
+			mean[gi][pi] = s.Mean
+			varOverN[gi][pi] = s.Var / float64(s.N)
+		}
+	}
+	eff := (mean[1][1] - mean[1][0]) - (mean[0][1] - mean[0][0])
+	se := math.Sqrt(varOverN[1][1] + varOverN[1][0] + varOverN[0][1] + varOverN[0][0])
+	return Estimate{
+		Method: "difference-in-differences",
+		Effect: eff,
+		SE:     se,
+		N:      f.Len(),
+	}, nil
+}

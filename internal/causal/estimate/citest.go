@@ -1,0 +1,90 @@
+package estimate
+
+import (
+	"fmt"
+	"math"
+
+	"sisyphus/internal/causal/data"
+	"sisyphus/internal/mathx"
+)
+
+// PartialCorrelation returns the correlation between x and y after linearly
+// removing the given controls from both (the residual correlation).
+func PartialCorrelation(f *data.Frame, x, y string, controls []string) (float64, error) {
+	rx, err := residualize(f, x, controls)
+	if err != nil {
+		return 0, err
+	}
+	ry, err := residualize(f, y, controls)
+	if err != nil {
+		return 0, err
+	}
+	return mathx.Correlation(rx, ry), nil
+}
+
+func residualize(f *data.Frame, col string, controls []string) ([]float64, error) {
+	if len(controls) == 0 {
+		v, ok := f.Column(col)
+		if !ok {
+			return nil, fmt.Errorf("estimate: no column %q", col)
+		}
+		out := append([]float64(nil), v...)
+		m := mathx.Mean(out)
+		for i := range out {
+			out[i] -= m
+		}
+		return out, nil
+	}
+	res, err := OLS(f, col, controls...)
+	if err != nil {
+		return nil, err
+	}
+	return res.Residuals, nil
+}
+
+// CITestResult is the outcome of a conditional-independence test.
+type CITestResult struct {
+	X, Y        string
+	Given       []string
+	PartialCorr float64
+	PValue      float64 // two-sided, Fisher z approximation
+	// Consistent is true when the data fail to reject independence at 5% —
+	// i.e. the data are consistent with the DAG's implication.
+	Consistent bool
+}
+
+func (c CITestResult) String() string {
+	verdict := "REJECTED"
+	if c.Consistent {
+		verdict = "consistent"
+	}
+	return fmt.Sprintf("%s _||_ %s | %v: r=%.4f p=%.4f (%s)", c.X, c.Y, c.Given, c.PartialCorr, c.PValue, verdict)
+}
+
+// CITest tests the conditional independence X ⊥ Y | controls using the
+// Fisher z transform of the partial correlation — the standard device for
+// checking a DAG's testable implications against observational data (§4's
+// "validate assumptions" step). Linear/Gaussian in spirit; treat rejections
+// of small |r| with judgement.
+func CITest(f *data.Frame, x, y string, controls []string) (CITestResult, error) {
+	r, err := PartialCorrelation(f, x, y, controls)
+	if err != nil {
+		return CITestResult{}, err
+	}
+	n := float64(f.Len())
+	k := float64(len(controls))
+	out := CITestResult{X: x, Y: y, Given: controls, PartialCorr: r}
+	df := n - k - 3
+	if df < 1 {
+		return CITestResult{}, fmt.Errorf("estimate: %d rows too few for CI test with %d controls", f.Len(), len(controls))
+	}
+	if math.Abs(r) >= 1 {
+		out.PValue = 0
+		out.Consistent = false
+		return out, nil
+	}
+	z := 0.5 * math.Log((1+r)/(1-r)) * math.Sqrt(df)
+	out.PValue = 2 * mathx.NormalSurvival(math.Abs(z))
+	out.Consistent = out.PValue > 0.05
+	return out, nil
+}

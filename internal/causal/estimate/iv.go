@@ -1,0 +1,165 @@
+package estimate
+
+import (
+	"fmt"
+	"math"
+
+	"sisyphus/internal/causal/data"
+	"sisyphus/internal/mathx"
+)
+
+// IVResult is the outcome of a two-stage least squares fit.
+type IVResult struct {
+	Estimate
+	// FirstStageF is the F statistic for the instruments in the first
+	// stage. Values below ~10 conventionally flag a weak instrument — the
+	// "relevance" half of the paper's IV validity argument.
+	FirstStageF float64
+	// FirstStageR2 is the R² of the first-stage regression.
+	FirstStageR2 float64
+}
+
+// TwoSLS estimates the causal effect of an endogenous treatment on outcome
+// using instruments, optionally with exogenous controls included in both
+// stages. All columns must exist in the frame.
+//
+// Stage 1 regresses treatment on instruments + controls; stage 2 regresses
+// outcome on the fitted treatment + controls. Standard errors use the
+// proper 2SLS residual (outcome minus structural prediction with the
+// *actual* treatment), not the stage-2 OLS residual.
+func TwoSLS(f *data.Frame, treatment, outcome string, instruments, controls []string) (*IVResult, error) {
+	if len(instruments) == 0 {
+		return nil, fmt.Errorf("estimate: 2SLS requires at least one instrument")
+	}
+	n := f.Len()
+	kz := len(instruments)
+	kc := len(controls)
+	if n < kz+kc+3 {
+		return nil, fmt.Errorf("estimate: %d rows too few for 2SLS with %d instruments and %d controls", n, kz, kc)
+	}
+
+	// First stage: treatment ~ instruments + controls.
+	fs, err := OLS(f, treatment, append(append([]string{}, instruments...), controls...)...)
+	if err != nil {
+		return nil, fmt.Errorf("estimate: first stage: %w", err)
+	}
+	// Restricted first stage (controls only) for the instrument F test.
+	var ssRestricted float64
+	if kc > 0 {
+		rs, err := OLS(f, treatment, controls...)
+		if err != nil {
+			return nil, fmt.Errorf("estimate: restricted first stage: %w", err)
+		}
+		ssRestricted = rs.Residuals.Dot(rs.Residuals)
+	} else {
+		t := mathx.Vector(f.MustColumn(treatment))
+		mean := t.Mean()
+		for _, v := range t {
+			d := v - mean
+			ssRestricted += d * d
+		}
+	}
+	ssFull := fs.Residuals.Dot(fs.Residuals)
+	dfFull := float64(n - (1 + kz + kc))
+	fStat := math.NaN()
+	if ssFull > 0 && dfFull > 0 {
+		fStat = ((ssRestricted - ssFull) / float64(kz)) / (ssFull / dfFull)
+	}
+
+	// Fitted treatment values.
+	tHat := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := f.Row(i)
+		v := fs.Coef[0]
+		for j, name := range fs.Names[1:] {
+			v += fs.Coef[j+1] * row[name]
+		}
+		tHat[i] = v
+	}
+
+	// Stage 2 design: intercept + tHat + controls.
+	p := 2 + kc
+	x2 := mathx.NewMatrix(n, p)
+	for i := 0; i < n; i++ {
+		x2.Set(i, 0, 1)
+		x2.Set(i, 1, tHat[i])
+		for j, c := range controls {
+			x2.Set(i, 2+j, f.MustColumn(c)[i])
+		}
+	}
+	y := mathx.Vector(f.MustColumn(outcome)).Clone()
+	xt := x2.T()
+	xtx := xt.Mul(x2)
+	xtxInv, err := mathx.Invert(xtx)
+	if err != nil {
+		return nil, fmt.Errorf("estimate: 2SLS second stage rank deficient: %w", err)
+	}
+	beta := xtxInv.MulVec(xt.MulVec(y))
+
+	// Structural residuals use the ACTUAL treatment, not tHat.
+	tAct := f.MustColumn(treatment)
+	resid := make(mathx.Vector, n)
+	for i := 0; i < n; i++ {
+		pred := beta[0] + beta[1]*tAct[i]
+		for j, c := range controls {
+			pred += beta[2+j] * f.MustColumn(c)[i]
+		}
+		resid[i] = y[i] - pred
+	}
+	sigma2 := resid.Dot(resid) / float64(n-p)
+	se := math.Sqrt(sigma2 * xtxInv.At(1, 1))
+
+	return &IVResult{
+		Estimate: Estimate{
+			Method: fmt.Sprintf("2SLS (instruments: %v)", instruments),
+			Effect: beta[1],
+			SE:     se,
+			N:      n,
+		},
+		FirstStageF:  fStat,
+		FirstStageR2: fs.R2,
+	}, nil
+}
+
+// WaldIV is the simple Wald/ratio IV estimator for one binary instrument:
+// (E[y|z=1] − E[y|z=0]) / (E[t|z=1] − E[t|z=0]). Provided both as a sanity
+// check for 2SLS and because it mirrors how natural-experiment contrasts are
+// usually first computed by hand.
+func WaldIV(f *data.Frame, treatment, outcome, instrument string) (Estimate, error) {
+	z := f.MustColumn(instrument)
+	t := f.MustColumn(treatment)
+	y := f.MustColumn(outcome)
+	var y1, y0, t1, t0 []float64
+	for i, zi := range z {
+		switch zi {
+		case 1:
+			y1 = append(y1, y[i])
+			t1 = append(t1, t[i])
+		case 0:
+			y0 = append(y0, y[i])
+			t0 = append(t0, t[i])
+		default:
+			return Estimate{}, fmt.Errorf("estimate: Wald IV instrument must be binary, got %v", zi)
+		}
+	}
+	if len(y1) == 0 || len(y0) == 0 {
+		return Estimate{}, ErrNoVariation
+	}
+	dy := mathx.Mean(y1) - mathx.Mean(y0)
+	dt := mathx.Mean(t1) - mathx.Mean(t0)
+	if math.Abs(dt) < 1e-12 {
+		return Estimate{}, fmt.Errorf("estimate: instrument has no first stage (Δtreatment = %v)", dt)
+	}
+	eff := dy / dt
+	// Delta-method SE, ignoring covariance between numerator and denominator
+	// (adequate as a diagnostic; use 2SLS for inference).
+	vy := mathx.Variance(y1)/float64(len(y1)) + mathx.Variance(y0)/float64(len(y0))
+	vt := mathx.Variance(t1)/float64(len(t1)) + mathx.Variance(t0)/float64(len(t0))
+	se := math.Abs(eff) * math.Sqrt(vy/(dy*dy)+vt/(dt*dt))
+	return Estimate{
+		Method: "Wald IV ratio",
+		Effect: eff,
+		SE:     se,
+		N:      len(y1) + len(y0),
+	}, nil
+}

@@ -1,0 +1,183 @@
+// Package estimate implements the estimators the paper's §3 walks through:
+// naive association contrasts, backdoor adjustment (stratification, OLS
+// covariate adjustment, inverse propensity weighting, matching), two-stage
+// least squares for instrumental variables, and difference-in-differences.
+//
+// Every estimator consumes a data.Frame and returns an Estimate carrying the
+// point effect, a standard error, and enough context to render the paper's
+// style of result tables. The estimators are intentionally unaware of where
+// data came from — platform measurements and SCM samples flatten into the
+// same frames.
+package estimate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sisyphus/internal/causal/data"
+	"sisyphus/internal/mathx"
+)
+
+// Estimate is the outcome of a causal (or associational) analysis.
+type Estimate struct {
+	Method string  // human-readable estimator name
+	Effect float64 // point estimate of the contrast/effect
+	SE     float64 // standard error (NaN when unavailable)
+	N      int     // observations used
+	Detail string  // optional notes (e.g. strata dropped)
+}
+
+// CI returns the normal-approximation confidence interval at the given
+// level (e.g. 0.95).
+func (e Estimate) CI(level float64) (lo, hi float64) {
+	z := normalQuantile(0.5 + level/2)
+	return e.Effect - z*e.SE, e.Effect + z*e.SE
+}
+
+// PValue returns the two-sided p-value against the null of zero effect,
+// using the normal approximation.
+func (e Estimate) PValue() float64 {
+	if e.SE == 0 || math.IsNaN(e.SE) {
+		return math.NaN()
+	}
+	z := math.Abs(e.Effect / e.SE)
+	return 2 * mathx.NormalSurvival(z)
+}
+
+func (e Estimate) String() string {
+	return fmt.Sprintf("%s: effect=%.4f se=%.4f n=%d", e.Method, e.Effect, e.SE, e.N)
+}
+
+// normalQuantile inverts the standard normal CDF by bisection; accuracy is
+// ample for confidence intervals.
+func normalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	lo, hi := -10.0, 10.0
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if mathx.NormalCDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// OLSResult is a fitted linear regression y = Xβ + ε with intercept.
+type OLSResult struct {
+	Names     []string // regressor names, Names[0] == "(intercept)"
+	Coef      mathx.Vector
+	SE        mathx.Vector // conventional (homoskedastic) standard errors
+	RobustSE  mathx.Vector // HC1 heteroskedasticity-robust standard errors
+	N         int
+	Residuals mathx.Vector
+	R2        float64
+}
+
+// Coefficient returns the coefficient for the named regressor.
+func (o *OLSResult) Coefficient(name string) (float64, error) {
+	for i, n := range o.Names {
+		if n == name {
+			return o.Coef[i], nil
+		}
+	}
+	return 0, fmt.Errorf("estimate: no regressor %q", name)
+}
+
+// CoefficientSE returns the robust standard error for the named regressor.
+func (o *OLSResult) CoefficientSE(name string) (float64, error) {
+	for i, n := range o.Names {
+		if n == name {
+			return o.RobustSE[i], nil
+		}
+	}
+	return 0, fmt.Errorf("estimate: no regressor %q", name)
+}
+
+// OLS regresses outcome on the given regressors (plus an intercept) over
+// the frame.
+func OLS(f *data.Frame, outcome string, regressors ...string) (*OLSResult, error) {
+	n := f.Len()
+	p := len(regressors) + 1
+	if n < p+1 {
+		return nil, fmt.Errorf("estimate: %d rows too few for %d regressors", n, len(regressors))
+	}
+	y := mathx.Vector(f.MustColumn(outcome)).Clone()
+	x := mathx.NewMatrix(n, p)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, 1)
+	}
+	for j, name := range regressors {
+		col, ok := f.Column(name)
+		if !ok {
+			return nil, fmt.Errorf("estimate: no column %q", name)
+		}
+		for i := 0; i < n; i++ {
+			x.Set(i, j+1, col[i])
+		}
+	}
+	return fitOLS(x, y, append([]string{"(intercept)"}, regressors...))
+}
+
+func fitOLS(x *mathx.Matrix, y mathx.Vector, names []string) (*OLSResult, error) {
+	n, p := x.Rows, x.Cols
+	xt := x.T()
+	xtx := xt.Mul(x)
+	xtxInv, err := mathx.Invert(xtx)
+	if err != nil {
+		return nil, fmt.Errorf("estimate: design matrix is rank deficient: %w", err)
+	}
+	beta := xtxInv.MulVec(xt.MulVec(y))
+	pred := x.MulVec(beta)
+	resid := y.Sub(pred)
+
+	var ssRes, ssTot float64
+	ybar := y.Mean()
+	for i := range y {
+		ssRes += resid[i] * resid[i]
+		d := y[i] - ybar
+		ssTot += d * d
+	}
+	sigma2 := ssRes / float64(n-p)
+
+	se := make(mathx.Vector, p)
+	for j := 0; j < p; j++ {
+		se[j] = math.Sqrt(sigma2 * xtxInv.At(j, j))
+	}
+
+	// HC1 robust covariance: (XᵀX)⁻¹ Xᵀ diag(e²) X (XᵀX)⁻¹ · n/(n-p).
+	meat := mathx.NewMatrix(p, p)
+	for i := 0; i < n; i++ {
+		e2 := resid[i] * resid[i]
+		for a := 0; a < p; a++ {
+			xa := x.At(i, a)
+			if xa == 0 {
+				continue
+			}
+			for b := 0; b < p; b++ {
+				meat.Set(a, b, meat.At(a, b)+e2*xa*x.At(i, b))
+			}
+		}
+	}
+	cov := xtxInv.Mul(meat).Mul(xtxInv).Scale(float64(n) / float64(n-p))
+	robust := make(mathx.Vector, p)
+	for j := 0; j < p; j++ {
+		robust[j] = math.Sqrt(math.Max(cov.At(j, j), 0))
+	}
+
+	r2 := 0.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return &OLSResult{
+		Names: names, Coef: beta, SE: se, RobustSE: robust,
+		N: n, Residuals: resid, R2: r2,
+	}, nil
+}
+
+// ErrNoVariation indicates a treatment column with a single level.
+var ErrNoVariation = errors.New("estimate: treatment has no variation")

@@ -1,0 +1,95 @@
+package synthetic
+
+import (
+	"fmt"
+	"math"
+
+	"sisyphus/internal/mathx"
+)
+
+// JackknifeCI estimates a confidence interval for the treated unit's ATT by
+// leave-one-donor-out jackknife: the estimator is refit with each donor
+// removed, and the spread of the resulting ATTs measures how much the
+// counterfactual depends on any single donor. Wide intervals flag fragile
+// donor pools — one of the diagnostics Abadie's checklist (cited by the
+// paper) asks for.
+type JackknifeCI struct {
+	ATT      float64
+	SE       float64
+	Lo, Hi   float64 // normal-approximation bounds at the requested level
+	Replicas []float64
+}
+
+// Jackknife runs the leave-one-donor-out analysis. level is the confidence
+// level (e.g. 0.95). It requires at least 3 donors.
+func Jackknife(p *Panel, treated string, t0 int, cfg Config, level float64) (*JackknifeCI, error) {
+	if level <= 0 || level >= 1 {
+		return nil, fmt.Errorf("synthetic: level must be in (0,1), got %v", level)
+	}
+	full, err := Fit(p, treated, t0, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(full.Donors) < 3 {
+		return nil, fmt.Errorf("synthetic: jackknife needs >= 3 donors, have %d", len(full.Donors))
+	}
+	var reps []float64
+	for _, drop := range full.Donors {
+		units := make([]string, 0, len(p.Units)-1)
+		rows := make([]int, 0, len(p.Units)-1)
+		for i, u := range p.Units {
+			if u == drop {
+				continue
+			}
+			units = append(units, u)
+			rows = append(rows, i)
+		}
+		y := mathx.NewMatrix(len(rows), p.Y.Cols)
+		for k, r := range rows {
+			for t := 0; t < p.Y.Cols; t++ {
+				y.Set(k, t, p.Y.At(r, t))
+			}
+		}
+		sub, err := NewPanel(units, p.Times, y)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Fit(sub, treated, t0, cfg)
+		if err != nil {
+			continue // a degenerate leave-one-out pool: skip
+		}
+		reps = append(reps, res.ATT)
+	}
+	if len(reps) < 3 {
+		return nil, fmt.Errorf("synthetic: only %d jackknife replicates succeeded", len(reps))
+	}
+	// Jackknife variance: (n-1)/n · Σ (θ̂ᵢ − θ̄)².
+	nf := float64(len(reps))
+	mean := mathx.Mean(reps)
+	var ss float64
+	for _, r := range reps {
+		d := r - mean
+		ss += d * d
+	}
+	se := math.Sqrt((nf - 1) / nf * ss)
+	z := zQuantile(0.5 + level/2)
+	return &JackknifeCI{
+		ATT: full.ATT, SE: se,
+		Lo: full.ATT - z*se, Hi: full.ATT + z*se,
+		Replicas: reps,
+	}, nil
+}
+
+// zQuantile inverts the standard normal CDF by bisection.
+func zQuantile(p float64) float64 {
+	lo, hi := -10.0, 10.0
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if mathx.NormalCDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,137 @@
+package synthetic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sisyphus/internal/mathx"
+)
+
+// PlaceboResult carries the inference produced by in-space placebo tests,
+// exactly the procedure behind Table 1's p column: refit the estimator
+// pretending each untreated donor was treated at the same time, and rank the
+// real unit's RMSE ratio among the placebo ratios.
+type PlaceboResult struct {
+	Treated *Result
+	// Ratios holds each placebo unit's post/pre RMSE ratio.
+	Ratios map[string]float64
+	// PValue is the rank-based p-value: the fraction of units (placebos plus
+	// the treated unit itself) whose RMSE ratio is at least the treated
+	// unit's. Small values mean the treated unit's post-period divergence
+	// would be unusual under "no effect anywhere".
+	PValue float64
+	// Skipped lists placebo units whose fit failed (e.g. zero pre variance).
+	Skipped []string
+}
+
+// PlaceboTest runs the full placebo analysis for the treated unit. Placebos
+// are fit on the panel with the genuinely treated unit removed, so its
+// post-treatment behaviour cannot contaminate placebo donor pools.
+func PlaceboTest(p *Panel, treated string, t0 int, cfg Config) (*PlaceboResult, error) {
+	real, err := Fit(p, treated, t0, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ti, _ := p.UnitIndex(treated)
+
+	// Panel without the treated unit.
+	donorUnits := make([]string, 0, len(p.Units)-1)
+	rows := make([]int, 0, len(p.Units)-1)
+	for i, u := range p.Units {
+		if i == ti {
+			continue
+		}
+		donorUnits = append(donorUnits, u)
+		rows = append(rows, i)
+	}
+	if len(donorUnits) < 2 {
+		return nil, fmt.Errorf("synthetic: placebo test needs at least 2 donors")
+	}
+	sub := mathx.NewMatrix(len(rows), p.Y.Cols)
+	for k, r := range rows {
+		for t := 0; t < p.Y.Cols; t++ {
+			sub.Set(k, t, p.Y.At(r, t))
+		}
+	}
+	subPanel, err := NewPanel(donorUnits, p.Times, sub)
+	if err != nil {
+		return nil, err
+	}
+
+	ratios := make(map[string]float64, len(donorUnits))
+	var skipped []string
+	for _, u := range donorUnits {
+		res, err := Fit(subPanel, u, t0, cfg)
+		if err != nil || math.IsNaN(res.RMSERatio) {
+			skipped = append(skipped, u)
+			continue
+		}
+		ratios[u] = res.RMSERatio
+	}
+	if len(ratios) == 0 {
+		return nil, fmt.Errorf("synthetic: all %d placebo fits failed", len(donorUnits))
+	}
+
+	// Rank-based p-value including the treated unit itself.
+	countGE := 1 // the treated unit always counts
+	for _, r := range ratios {
+		if r >= real.RMSERatio {
+			countGE++
+		}
+	}
+	pval := float64(countGE) / float64(len(ratios)+1)
+	sort.Strings(skipped)
+	return &PlaceboResult{
+		Treated: real,
+		Ratios:  ratios,
+		PValue:  pval,
+		Skipped: skipped,
+	}, nil
+}
+
+// PrePostTTest is the naive alternative to placebo inference that the
+// DESIGN.md ablation compares against: a Welch t-test between the unit's own
+// pre and post outcome levels, ignoring donors entirely. It conflates the
+// treatment with any common shock — included to demonstrate why the paper's
+// synthetic-control diagnostics matter.
+func PrePostTTest(p *Panel, treated string, t0 int) (delta, pvalue float64, err error) {
+	ti, err := p.UnitIndex(treated)
+	if err != nil {
+		return 0, 0, err
+	}
+	pre := make([]float64, t0)
+	post := make([]float64, p.Y.Cols-t0)
+	for t := 0; t < t0; t++ {
+		pre[t] = p.Y.At(ti, t)
+	}
+	for t := t0; t < p.Y.Cols; t++ {
+		post[t-t0] = p.Y.At(ti, t)
+	}
+	_, pvalue = mathx.WelchT(post, pre)
+	return mathx.Mean(post) - mathx.Mean(pre), pvalue, nil
+}
+
+// PlaceboInTime is the backdating diagnostic: refit the synthetic control
+// pretending treatment happened at an earlier time fakeT0 < t0, evaluating
+// the "post" period only up to the real treatment. A sound design finds no
+// effect there; a nonzero backdated ATT signals pre-trend divergence that
+// would contaminate the real estimate.
+func PlaceboInTime(p *Panel, treated string, realT0, fakeT0 int, cfg Config) (*Result, error) {
+	if fakeT0 >= realT0 {
+		return nil, fmt.Errorf("synthetic: fake treatment time %d must precede the real one %d", fakeT0, realT0)
+	}
+	// Truncate the panel at the real treatment so the genuine effect never
+	// enters the placebo window.
+	trunc := mathx.NewMatrix(len(p.Units), realT0)
+	for i := 0; i < len(p.Units); i++ {
+		for t := 0; t < realT0; t++ {
+			trunc.Set(i, t, p.Y.At(i, t))
+		}
+	}
+	sub, err := NewPanel(p.Units, p.Times[:realT0], trunc)
+	if err != nil {
+		return nil, err
+	}
+	return Fit(sub, treated, fakeT0, cfg)
+}

@@ -1,0 +1,111 @@
+// Package experiments implements one runner per quantitative element of the
+// paper: Table 1 (the NAPAfrica synthetic-control case study), the §3
+// running example and its boxed counterexamples, the M-Lab randomization
+// argument, instrumental variables on natural experiments, counterfactual
+// replay, and the §4 platform-design demonstrations. Each runner returns a
+// typed result plus a rendered text table; EXPERIMENTS.md records how the
+// outputs compare with the paper.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Experiment is a runnable reproduction unit.
+type Experiment struct {
+	ID    string // e.g. "table1"
+	Paper string // which paper element it reproduces
+	Run   func(seed uint64) (Renderable, error)
+}
+
+// Renderable is any experiment result that can print itself.
+type Renderable interface {
+	Render() string
+}
+
+// registry holds all experiments keyed by ID.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have %s)",
+			id, strings.Join(IDs(), ", "))
+	}
+	return e, nil
+}
+
+// IDs lists registered experiment IDs, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns all experiments sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, id := range IDs() {
+		out = append(out, registry[id])
+	}
+	return out
+}
+
+// table renders an aligned text table.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for pad := len(c); pad < widths[i]; pad++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.header)
+	var total int
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, r := range t.rows {
+		line(r)
+	}
+	return sb.String()
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"sisyphus/internal/netsim/bgp"
+	"sisyphus/internal/netsim/engine"
+	"sisyphus/internal/netsim/scenario"
+	"sisyphus/internal/netsim/topo"
+)
+
+// ExposureRow summarizes one candidate failure.
+type ExposureRow struct {
+	Link string
+	// Exposure is the static count of unit→content pairs whose current
+	// path crosses the link (what Xaminer-style analysis reports).
+	Exposure int
+	// Unreachable is how many pairs actually lose connectivity after BGP
+	// reconverges around the failure.
+	Unreachable int
+	// MeanRTTShift is the average RTT change (ms) among pairs that remain
+	// reachable (the *impact* after adaptation).
+	MeanRTTShift float64
+}
+
+// ExposureResult reproduces the §3 Xaminer box: exposure (who crosses the
+// failed component) is not impact (what happens after routing adapts).
+type ExposureResult struct {
+	Pairs int
+	Rows  []ExposureRow
+	// RankFlips counts link pairs ordered differently by exposure vs by
+	// impact — the quantitative sense in which "exposure ≠ impact".
+	RankFlips int
+}
+
+// Render prints the sweep.
+func (r *ExposureResult) Render() string {
+	t := &table{header: []string{"failed link", "exposure (paths)", "unreachable after reconvergence", "mean RTT shift (ms)"}}
+	for _, row := range r.Rows {
+		t.add(row.Link, fmt.Sprintf("%d", row.Exposure), fmt.Sprintf("%d", row.Unreachable),
+			fmt.Sprintf("%+.2f", row.MeanRTTShift))
+	}
+	return fmt.Sprintf("Exposure vs impact (§3 Xaminer box): cable-cut sweep over %d unit→content pairs\n(%d link pairs rank differently under exposure vs impact)\n\n%s",
+		r.Pairs, r.RankFlips, t.String())
+}
+
+// RunExposure sweeps candidate link failures in the South Africa world.
+// For each: static exposure = paths crossing the link now; dynamic impact =
+// reachability and RTT after the control plane reconverges without it.
+func RunExposure(seed uint64) (*ExposureResult, error) {
+	s, err := scenario.BuildSouthAfrica()
+	if err != nil {
+		return nil, err
+	}
+	e := engine.New(s.Topo, seed, engine.Config{})
+	if err := e.RunUntil(12); err != nil {
+		return nil, err
+	}
+	rib, err := e.RIB()
+	if err != nil {
+		return nil, err
+	}
+
+	// The measurement pairs: every unit to BigContent.
+	type pair struct {
+		src topo.PoPID
+		u   scenario.Unit
+	}
+	var pairs []pair
+	for _, u := range s.AllUnits() {
+		src, err := s.UserPoP(u)
+		if err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, pair{src, u})
+	}
+
+	paths := make(map[topo.PoPID]*bgp.Path)
+	baseRTT := make(map[topo.PoPID]float64)
+	for _, p := range pairs {
+		perf, err := e.PerfToAS(p.src, scenario.BigContent)
+		if err != nil {
+			return nil, err
+		}
+		paths[p.src] = perf.Path
+		baseRTT[p.src] = perf.RTTms
+	}
+
+	// Candidate failures: the backbone-facing and inter-transit links.
+	rel, err := s.Topo.Relationships()
+	if err != nil {
+		return nil, err
+	}
+	candidates := []struct {
+		name string
+		id   topo.LinkID
+	}{
+		{"TransitA–Backbone (JNB)", rel.Links[scenario.ZATransitA][scenario.EuroBackbone][0]},
+		{"TransitB–Backbone (JNB)", rel.Links[scenario.ZATransitB][scenario.EuroBackbone][0]},
+		{"TransitA–TransitB peering", rel.Links[scenario.ZATransitA][scenario.ZATransitB][0]},
+		{"BigContent–TransitA (JNB)", rel.Links[scenario.BigContent][scenario.ZATransitA][0]},
+		{"BigContent–TransitA (DUR)", rel.Links[scenario.BigContent][scenario.ZATransitA][1]},
+		// Single-homed access tails: tiny exposure, total impact.
+		{"Donor16637 access", rel.Links[16637][scenario.ZATransitA][0]},
+		{"Donor327700 access", rel.Links[327700][scenario.ZATransitB][0]},
+	}
+
+	res := &ExposureResult{Pairs: len(pairs)}
+	for _, cand := range candidates {
+		row := ExposureRow{Link: cand.name}
+		for _, p := range pairs {
+			if paths[p.src].CrossesLink(cand.id) {
+				row.Exposure++
+			}
+		}
+		// Fail the link, recompute, and measure actual impact.
+		e.Policy.DenyLink[cand.id] = true
+		e.MarkDirty()
+		var shiftSum float64
+		var shiftN int
+		for _, p := range pairs {
+			perf, err := e.PerfToAS(p.src, scenario.BigContent)
+			if err != nil {
+				row.Unreachable++
+				continue
+			}
+			shiftSum += perf.RTTms - baseRTT[p.src]
+			shiftN++
+		}
+		if shiftN > 0 {
+			row.MeanRTTShift = shiftSum / float64(shiftN)
+		}
+		delete(e.Policy.DenyLink, cand.id)
+		e.MarkDirty()
+		res.Rows = append(res.Rows, row)
+	}
+	_ = rib
+
+	// Count rank inversions between the exposure ordering and an impact
+	// ordering (unreachable count, then RTT shift).
+	impactLess := func(a, b ExposureRow) bool {
+		if a.Unreachable != b.Unreachable {
+			return a.Unreachable < b.Unreachable
+		}
+		return a.MeanRTTShift < b.MeanRTTShift
+	}
+	for i := 0; i < len(res.Rows); i++ {
+		for j := i + 1; j < len(res.Rows); j++ {
+			a, b := res.Rows[i], res.Rows[j]
+			expLess := a.Exposure < b.Exposure
+			if a.Exposure != b.Exposure && expLess != impactLess(a, b) {
+				res.RankFlips++
+			}
+		}
+	}
+	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].Exposure > res.Rows[j].Exposure })
+	return res, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "exposure",
+		Paper: "§3 Xaminer box: static exposure vs post-reconvergence impact",
+		Run: func(seed uint64) (Renderable, error) {
+			return RunExposure(seed)
+		},
+	})
+}

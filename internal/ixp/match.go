@@ -1,0 +1,73 @@
+// Package ixp implements the analysis-side IXP detection of the paper's
+// case study: "we determine whether a path crosses the NAPAfrica IXP by
+// matching hop IP addresses against addresses announced by the IXP". It
+// deliberately consumes only measurement records and prefix strings — the
+// same information a real analyst has — never the simulator's ground truth.
+package ixp
+
+import (
+	"strings"
+
+	"sisyphus/internal/netsim/topo"
+	"sisyphus/internal/probe"
+)
+
+// Matcher tests whether addresses fall inside a set of announced prefixes.
+// Prefixes use the simulator's dotted-prefix convention (e.g. "196.60.8.").
+type Matcher struct {
+	prefixes []string
+}
+
+// NewMatcher builds a matcher from announced prefix strings.
+func NewMatcher(prefixes ...string) *Matcher {
+	return &Matcher{prefixes: append([]string(nil), prefixes...)}
+}
+
+// FromTopology builds a matcher for one exchange from the topology's
+// declared peering LAN (the PeeringDB lookup of the paper).
+func FromTopology(t *topo.Topology, ixpName string) (*Matcher, error) {
+	x, err := t.IXP(ixpName)
+	if err != nil {
+		return nil, err
+	}
+	return NewMatcher(x.Prefix), nil
+}
+
+// MatchAddr reports whether one address is inside any announced prefix.
+func (m *Matcher) MatchAddr(addr string) bool {
+	for _, p := range m.prefixes {
+		if strings.HasPrefix(addr, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Crosses reports whether a measurement's traceroute shows an IXP crossing.
+func (m *Matcher) Crosses(meas *probe.Measurement) bool {
+	for _, h := range meas.Hops {
+		if m.MatchAddr(h.Addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// FirstCrossingHour scans measurements (any order) of one unit and returns
+// the earliest Hour at which an IXP crossing appears, and whether one was
+// found. This defines the paper's treatment time: "the first appearance of
+// the IXP in a path".
+func (m *Matcher) FirstCrossingHour(ms []*probe.Measurement) (float64, bool) {
+	found := false
+	var first float64
+	for _, meas := range ms {
+		if !m.Crosses(meas) {
+			continue
+		}
+		if !found || meas.Hour < first {
+			first = meas.Hour
+			found = true
+		}
+	}
+	return first, found
+}

@@ -1,0 +1,68 @@
+package ixp
+
+import (
+	"testing"
+
+	"sisyphus/internal/netsim/engine"
+	"sisyphus/internal/netsim/scenario"
+	"sisyphus/internal/probe"
+)
+
+func TestMatcherAddr(t *testing.T) {
+	m := NewMatcher("196.60.8.", "196.60.9.")
+	if !m.MatchAddr("196.60.8.17") {
+		t.Fatal("member address not matched")
+	}
+	if m.MatchAddr("10.0.1.1") {
+		t.Fatal("AS address matched")
+	}
+	if !m.MatchAddr("196.60.9.3") {
+		t.Fatal("second prefix ignored")
+	}
+}
+
+func TestFromTopologyAndCrosses(t *testing.T) {
+	s, err := scenario.BuildSouthAfrica()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(s.Topo, 3, engine.Config{})
+	p := probe.NewProber(e, 4)
+	matcher, err := FromTopology(s.Topo, s.IXPName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromTopology(s.Topo, "NoSuchIXP"); err == nil {
+		t.Fatal("unknown IXP accepted")
+	}
+
+	src, _ := s.Topo.FindPoP(328745, "Johannesburg")
+	pre, err := p.SpeedTest(src, scenario.BigContent, probe.IntentBaseline, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matcher.Crosses(pre) {
+		t.Fatal("pre-join measurement crosses IXP")
+	}
+
+	e.Schedule(engine.EvJoinIXP(5, s.IXPName, 328745, 0))
+	if err := e.RunUntil(6); err != nil {
+		t.Fatal(err)
+	}
+	post, err := p.SpeedTest(src, scenario.BigContent, probe.IntentBaseline, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matcher.Crosses(post) {
+		t.Fatal("post-join measurement does not cross IXP")
+	}
+
+	// Treatment timing: first crossing hour is the post-join sample's hour.
+	hour, found := matcher.FirstCrossingHour([]*probe.Measurement{post, pre})
+	if !found || hour != post.Hour {
+		t.Fatalf("first crossing = %v (%v)", hour, found)
+	}
+	if _, found := matcher.FirstCrossingHour([]*probe.Measurement{pre}); found {
+		t.Fatal("crossing claimed with none present")
+	}
+}

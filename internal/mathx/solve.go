@@ -1,0 +1,129 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution at
+// working precision.
+var ErrSingular = errors.New("mathx: singular or rank-deficient system")
+
+// SolveLinear solves A x = b by Gaussian elimination with partial pivoting.
+// A must be square. The inputs are not modified.
+func SolveLinear(a *Matrix, b Vector) (Vector, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, errors.New("mathx: SolveLinear requires a square matrix")
+	}
+	if len(b) != n {
+		return nil, errors.New("mathx: SolveLinear dimension mismatch")
+	}
+	// Augmented working copies.
+	m := a.Clone()
+	x := b.Clone()
+	for col := 0; col < n; col++ {
+		// Partial pivot: find the largest magnitude entry in this column.
+		pivot := col
+		best := math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(m, pivot, col)
+			x[pivot], x[col] = x[col], x[pivot]
+		}
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m.Set(r, c, m.At(r, c)-f*m.At(col, c))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	out := make(Vector, n)
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.At(i, j) * out[j]
+		}
+		out[i] = s / m.At(i, i)
+	}
+	return out, nil
+}
+
+func swapRows(m *Matrix, i, j int) {
+	ri := m.Data[i*m.Cols : (i+1)*m.Cols]
+	rj := m.Data[j*m.Cols : (j+1)*m.Cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// Invert returns the inverse of square matrix a, or ErrSingular.
+func Invert(a *Matrix) (*Matrix, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, errors.New("mathx: Invert requires a square matrix")
+	}
+	out := NewMatrix(n, n)
+	// Solve against each unit vector. O(n^4) worst case but n is small here;
+	// good enough and easy to verify.
+	e := make(Vector, n)
+	for j := 0; j < n; j++ {
+		for k := range e {
+			e[k] = 0
+		}
+		e[j] = 1
+		col, err := SolveLinear(a, e)
+		if err != nil {
+			return nil, err
+		}
+		out.SetCol(j, col)
+	}
+	return out, nil
+}
+
+// LeastSquares solves min_x ||A x - b||_2 via the normal equations with a
+// tiny Tikhonov fallback when AᵀA is ill conditioned. A may be tall
+// (rows >= cols).
+func LeastSquares(a *Matrix, b Vector) (Vector, error) {
+	if a.Rows != len(b) {
+		return nil, errors.New("mathx: LeastSquares dimension mismatch")
+	}
+	at := a.T()
+	ata := at.Mul(a)
+	atb := at.MulVec(b)
+	x, err := SolveLinear(ata, atb)
+	if err == nil {
+		return x, nil
+	}
+	// Rank deficient: fall back to a small ridge so callers still get the
+	// minimum-norm-flavoured solution instead of an error.
+	return RidgeSolve(a, b, 1e-8)
+}
+
+// RidgeSolve solves min_x ||A x - b||² + lambda ||x||² via
+// (AᵀA + lambda I) x = Aᵀ b. lambda must be > 0 for guaranteed solvability.
+func RidgeSolve(a *Matrix, b Vector, lambda float64) (Vector, error) {
+	if a.Rows != len(b) {
+		return nil, errors.New("mathx: RidgeSolve dimension mismatch")
+	}
+	at := a.T()
+	ata := at.Mul(a)
+	for i := 0; i < ata.Rows; i++ {
+		ata.Set(i, i, ata.At(i, i)+lambda)
+	}
+	atb := at.MulVec(b)
+	return SolveLinear(ata, atb)
+}

@@ -1,0 +1,238 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N                  int
+	Mean, Var, Std     float64
+	Min, Max           float64
+	Median, P25, P75   float64
+	P05, P95           float64
+	SkewnessG1         float64
+	StandardError      float64 // of the mean
+	MedianAbsDeviation float64
+}
+
+// Summarize computes descriptive statistics of xs. Variance uses the n-1
+// (sample) denominator. An empty sample yields NaN fields and N == 0.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		nan := math.NaN()
+		s.Mean, s.Var, s.Std, s.Min, s.Max = nan, nan, nan, nan, nan
+		s.Median, s.P25, s.P75, s.P05, s.P95 = nan, nan, nan, nan, nan
+		s.SkewnessG1, s.StandardError, s.MedianAbsDeviation = nan, nan, nan
+		return s
+	}
+	s.Mean = Vector(xs).Mean()
+	s.Min = Vector(xs).Min()
+	s.Max = Vector(xs).Max()
+	var m2, m3 float64
+	for _, x := range xs {
+		d := x - s.Mean
+		m2 += d * d
+		m3 += d * d * d
+	}
+	n := float64(len(xs))
+	if len(xs) > 1 {
+		s.Var = m2 / (n - 1)
+	}
+	s.Std = math.Sqrt(s.Var)
+	s.StandardError = s.Std / math.Sqrt(n)
+	if s.Std > 0 {
+		s.SkewnessG1 = (m3 / n) / math.Pow(m2/n, 1.5)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = quantileSorted(sorted, 0.5)
+	s.P25 = quantileSorted(sorted, 0.25)
+	s.P75 = quantileSorted(sorted, 0.75)
+	s.P05 = quantileSorted(sorted, 0.05)
+	s.P95 = quantileSorted(sorted, 0.95)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - s.Median)
+	}
+	sort.Float64s(dev)
+	s.MedianAbsDeviation = quantileSorted(dev, 0.5)
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It copies and sorts its input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// Median returns the sample median of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, NaN if empty.
+func Mean(xs []float64) float64 { return Vector(xs).Mean() }
+
+// Variance returns the sample (n-1) variance of xs.
+func Variance(xs []float64) float64 { return Summarize(xs).Var }
+
+// Covariance returns the sample covariance of paired samples xs, ys.
+func Covariance(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	mx := Mean(xs)
+	my := Mean(ys)
+	var s float64
+	for i := range xs {
+		s += (xs[i] - mx) * (ys[i] - my)
+	}
+	return s / float64(len(xs)-1)
+}
+
+// Correlation returns the Pearson correlation coefficient of xs, ys.
+func Correlation(xs, ys []float64) float64 {
+	c := Covariance(xs, ys)
+	sx := math.Sqrt(Variance(xs))
+	sy := math.Sqrt(Variance(ys))
+	if sx == 0 || sy == 0 {
+		return math.NaN()
+	}
+	return c / (sx * sy)
+}
+
+// WelchT returns the Welch t-statistic and approximate two-sided p-value for
+// the difference in means between samples a and b.
+func WelchT(a, b []float64) (t, p float64) {
+	sa := Summarize(a)
+	sb := Summarize(b)
+	if sa.N < 2 || sb.N < 2 {
+		return math.NaN(), math.NaN()
+	}
+	va := sa.Var / float64(sa.N)
+	vb := sb.Var / float64(sb.N)
+	se := math.Sqrt(va + vb)
+	if se == 0 {
+		return math.NaN(), math.NaN()
+	}
+	t = (sa.Mean - sb.Mean) / se
+	// Welch-Satterthwaite degrees of freedom.
+	df := (va + vb) * (va + vb) / (va*va/float64(sa.N-1) + vb*vb/float64(sb.N-1))
+	p = 2 * studentTSurvival(math.Abs(t), df)
+	return t, p
+}
+
+// studentTSurvival returns P(T > t) for Student's t with df degrees of
+// freedom, via the regularized incomplete beta function.
+func studentTSurvival(t, df float64) float64 {
+	if math.IsNaN(t) || df <= 0 {
+		return math.NaN()
+	}
+	x := df / (df + t*t)
+	return 0.5 * regIncompleteBeta(df/2, 0.5, x)
+}
+
+// regIncompleteBeta computes the regularized incomplete beta function
+// I_x(a, b) using the continued-fraction expansion (Numerical Recipes style).
+func regIncompleteBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func betaCF(a, b, x float64) float64 {
+	const maxIter = 300
+	const eps = 1e-14
+	const tiny = 1e-30
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// NormalCDF returns the standard normal cumulative distribution at x.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalSurvival returns 1 - NormalCDF(x).
+func NormalSurvival(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}

@@ -1,0 +1,93 @@
+package bgp
+
+import (
+	"sisyphus/internal/netsim/topo"
+)
+
+// AffectedDestinations returns the destination ASes whose converged routing
+// could change when the given link fails: every destination for which some
+// AS's chosen route crosses an AS-level adjacency realized (possibly among
+// others) by that link. Destinations outside this set provably keep their
+// routes, because no selected path used the adjacency and removing a link
+// only removes options that were already losing.
+func (r *RIB) AffectedDestinations(failed topo.LinkID) []topo.ASN {
+	l := r.Topo.Link(failed)
+	a := r.Topo.PoP(l.A).AS
+	b := r.Topo.PoP(l.B).AS
+	if a == b {
+		return nil // intra-AS links are invisible to BGP
+	}
+	// If other links still realize the adjacency, the control plane keeps
+	// the session up and nothing changes at the AS level.
+	remaining := 0
+	for _, id := range r.Rel.Links[a][b] {
+		if id != failed {
+			lk := r.Topo.Link(id)
+			if lk.Up && !r.policy.DenyLink[id] {
+				remaining++
+			}
+		}
+	}
+	if remaining > 0 {
+		return nil
+	}
+	var out []topo.ASN
+	for dest, best := range r.best {
+		uses := false
+		for owner, rt := range best {
+			if rt == nil {
+				continue
+			}
+			prev := owner
+			for _, hop := range rt.Path {
+				if (prev == a && hop == b) || (prev == b && hop == a) {
+					uses = true
+					break
+				}
+				prev = hop
+			}
+			if uses {
+				break
+			}
+		}
+		if uses {
+			out = append(out, dest)
+		}
+	}
+	return out
+}
+
+// RecomputeAfterLinkFailure returns a new RIB reflecting the failure of one
+// link, recomputing only the destinations the failure can affect and reusing
+// every other table from this RIB. The returned RIB uses a policy that
+// denies the link.
+//
+// This is the "incremental" arm of the DESIGN.md routing ablation: on large
+// topologies most destinations are unaffected by a single edge event, so
+// this is much cheaper than a full Compute — at the cost of holding the
+// (safe) monotonicity assumption above.
+func (r *RIB) RecomputeAfterLinkFailure(failed topo.LinkID) (*RIB, error) {
+	pol := r.policy.Clone()
+	pol.DenyLink[failed] = true
+	rel, err := relationshipsUnderPolicy(r.Topo, pol)
+	if err != nil {
+		return nil, err
+	}
+	out := &RIB{Topo: r.Topo, Rel: rel, best: make(map[topo.ASN]map[topo.ASN]*Route), policy: pol}
+	affected := make(map[topo.ASN]bool)
+	for _, d := range r.AffectedDestinations(failed) {
+		affected[d] = true
+	}
+	for dest, tbl := range r.best {
+		if !affected[dest] {
+			out.best[dest] = tbl // share: routes are immutable once computed
+			continue
+		}
+		fresh, err := computeDest(r.Topo, rel, pol, dest)
+		if err != nil {
+			return nil, err
+		}
+		out.best[dest] = fresh
+	}
+	return out, nil
+}

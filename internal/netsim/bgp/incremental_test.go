@@ -1,0 +1,102 @@
+package bgp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sisyphus/internal/mathx"
+	"sisyphus/internal/netsim/topo"
+)
+
+// TestIncrementalMatchesFullRecompute is the correctness contract for the
+// incremental path: for random topologies and random single-link failures,
+// the incremental RIB must equal a full recompute under the same denial.
+func TestIncrementalMatchesFullRecompute(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := mathx.NewRNG(seed)
+		tp, err := topo.Generate(r, topo.DefaultGenConfig(), nil)
+		if err != nil {
+			return false
+		}
+		rib, err := Compute(tp, nil)
+		if err != nil {
+			return false
+		}
+		links := tp.Links()
+		failed := links[r.Intn(len(links))].ID
+
+		inc, err := rib.RecomputeAfterLinkFailure(failed)
+		if err != nil {
+			return false
+		}
+		pol := NewPolicy()
+		pol.DenyLink[failed] = true
+		full, err := Compute(tp, pol)
+		if err != nil {
+			return false
+		}
+		for _, dst := range tp.ASes() {
+			for _, src := range tp.ASes() {
+				a := inc.Lookup(src.ASN, dst.ASN)
+				b := full.Lookup(src.ASN, dst.ASN)
+				if !routesEqual(a, b) {
+					t.Logf("seed %d: mismatch src=%d dst=%d inc=%+v full=%+v", seed, src.ASN, dst.ASN, a, b)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAffectedDestinationsRedundantLink(t *testing.T) {
+	// Two parallel links between the same AS pair: failing one affects
+	// nothing because the adjacency survives.
+	b := topo.NewBuilder(nil).
+		AddAS(1, "A", topo.Access, "London", "Paris").
+		AddAS(2, "B", topo.Transit, "London", "Paris").
+		Connect(1, "London", topo.CustomerOf, 2, "London").
+		Connect(1, "Paris", topo.CustomerOf, 2, "Paris")
+	tp, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rib, err := Compute(tp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rib.AffectedDestinations(0); got != nil {
+		t.Fatalf("redundant link failure affected %v", got)
+	}
+	inc, err := rib.RecomputeAfterLinkFailure(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Lookup(1, 2) == nil {
+		t.Fatal("route lost despite redundancy")
+	}
+}
+
+func TestAffectedDestinationsCutLink(t *testing.T) {
+	tp := trombone(t)
+	rib, err := Compute(tp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := tp.Relationships()
+	id := rel.Links[3741][200][0]
+	affected := rib.AffectedDestinations(id)
+	if len(affected) == 0 {
+		t.Fatal("cutting the only access link should affect destinations")
+	}
+	inc, err := rib.RecomputeAfterLinkFailure(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Lookup(3741, 300) != nil {
+		t.Fatal("single-homed AS still routed after incremental failure")
+	}
+}

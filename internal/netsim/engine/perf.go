@@ -1,0 +1,176 @@
+package engine
+
+import (
+	"fmt"
+
+	"sisyphus/internal/netsim/bgp"
+	"sisyphus/internal/netsim/topo"
+	"sisyphus/internal/netsim/traffic"
+)
+
+// PathPerf is the engine's ground-truth performance along one path at one
+// instant (no measurement noise — probes add that).
+type PathPerf struct {
+	Path *bgp.Path
+	// RTTms is the round-trip time: 2× (propagation + queueing + per-hop).
+	RTTms float64
+	// LossRate is the end-to-end loss probability.
+	LossRate float64
+	// ThroughputMbps is the bottleneck available bandwidth.
+	ThroughputMbps float64
+	// MaxUtil is the highest link utilization on the path (the congestion
+	// covariate an omniscient observer would adjust for).
+	MaxUtil float64
+	// BottleneckLink is the link with the least available capacity.
+	BottleneckLink topo.LinkID
+}
+
+// Perf computes current performance between two PoPs.
+func (e *Engine) Perf(src, dst topo.PoPID) (*PathPerf, error) {
+	rib, err := e.RIB()
+	if err != nil {
+		return nil, err
+	}
+	p, err := rib.Forward(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	return e.perfAlong(p), nil
+}
+
+// PerfToAS computes performance from a PoP to the nearest PoP of an AS
+// (anycast-style server selection).
+func (e *Engine) PerfToAS(src topo.PoPID, asn topo.ASN) (*PathPerf, error) {
+	rib, err := e.RIB()
+	if err != nil {
+		return nil, err
+	}
+	dst, err := rib.NearestPoP(src, asn)
+	if err != nil {
+		return nil, err
+	}
+	return e.Perf(src, dst)
+}
+
+func (e *Engine) perfAlong(p *bgp.Path) *PathPerf {
+	out := &PathPerf{Path: p, ThroughputMbps: 1e9, BottleneckLink: -1}
+	oneWay := 0.0
+	survive := 1.0
+	for _, h := range p.Hops {
+		oneWay += h.DelayMs + e.cfg.PerHopMs
+		if h.Link == nil {
+			continue
+		}
+		u := e.Utilization(h.Link.ID)
+		oneWay += traffic.QueueingDelayMs(u, e.cfg.QueueScaleMs)
+		survive *= 1 - traffic.LossRate(u)
+		if u > out.MaxUtil {
+			out.MaxUtil = u
+		}
+		avail := h.Link.CapacityMbps * (1 - u)
+		if avail < out.ThroughputMbps {
+			out.ThroughputMbps = avail
+			out.BottleneckLink = h.Link.ID
+		}
+	}
+	out.RTTms = 2 * oneWay
+	out.LossRate = 1 - survive
+	if out.BottleneckLink == -1 {
+		out.ThroughputMbps = 0 // degenerate zero-hop path
+	}
+	return out
+}
+
+// Standard engine events.
+
+// EvJoinIXP returns an event that makes asn join the named IXP and shifts
+// shiftUtil worth of load off its provider links (traffic moving to the
+// new peering).
+func EvJoinIXP(atHour float64, ixp string, asn topo.ASN, shiftUtil float64) Event {
+	return Event{
+		AtHour: atHour,
+		Name:   fmt.Sprintf("join-ixp %s AS%d", ixp, asn),
+		Apply: func(e *Engine) error {
+			_, err := e.Topo.JoinIXP(ixp, asn)
+			if err != nil {
+				return err
+			}
+			if shiftUtil > 0 {
+				rel, err := e.Topo.Relationships()
+				if err != nil {
+					return err
+				}
+				for n, k := range rel.Rel[asn] {
+					if k != topo.RelCustomer {
+						continue // only provider links drain
+					}
+					for _, id := range rel.Links[asn][n] {
+						e.Traffic.AddLoadShift(id, atHour, -shiftUtil)
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// EvLinkDown returns an event that fails a link.
+func EvLinkDown(atHour float64, id topo.LinkID) Event {
+	return Event{
+		AtHour: atHour,
+		Name:   fmt.Sprintf("link-down %d", id),
+		Apply: func(e *Engine) error {
+			e.Topo.Link(id).Up = false
+			return nil
+		},
+	}
+}
+
+// EvLinkUp returns an event that restores a link.
+func EvLinkUp(atHour float64, id topo.LinkID) Event {
+	return Event{
+		AtHour: atHour,
+		Name:   fmt.Sprintf("link-up %d", id),
+		Apply: func(e *Engine) error {
+			e.Topo.Link(id).Up = true
+			return nil
+		},
+	}
+}
+
+// EvMaintenance schedules an administrative link outage for a window — the
+// paper's example of a plausibly exogenous natural experiment. It returns
+// the pair of events (start, end).
+func EvMaintenance(startHour, hours float64, id topo.LinkID) (Event, Event) {
+	start := Event{
+		AtHour: startHour,
+		Name:   fmt.Sprintf("maintenance-start %d", id),
+		Apply: func(e *Engine) error {
+			e.Policy.DenyLink[id] = true
+			return nil
+		},
+	}
+	end := Event{
+		AtHour: startHour + hours,
+		Name:   fmt.Sprintf("maintenance-end %d", id),
+		Apply: func(e *Engine) error {
+			delete(e.Policy.DenyLink, id)
+			return nil
+		},
+	}
+	return start, end
+}
+
+// EvSetLocalPref returns an event applying a local-preference override —
+// the paper's example of an *invalid* instrument when the change also moves
+// load.
+func EvSetLocalPref(atHour float64, a, n topo.ASN, pref int) Event {
+	return Event{
+		AtHour: atHour,
+		Name:   fmt.Sprintf("local-pref AS%d->AS%d=%d", a, n, pref),
+		Apply: func(e *Engine) error {
+			e.Policy.SetLocalPref(a, n, pref)
+			return nil
+		},
+	}
+}

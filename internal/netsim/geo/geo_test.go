@@ -1,0 +1,112 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceKnownPairs(t *testing.T) {
+	r := DefaultRegistry()
+	jnb := r.MustGet("Johannesburg")
+	cpt := r.MustGet("Cape Town")
+	ldn := r.MustGet("London")
+
+	// Johannesburg–Cape Town is ≈ 1260 km great circle.
+	if d := DistanceKm(jnb, cpt); math.Abs(d-1260) > 60 {
+		t.Fatalf("JNB-CPT = %v km", d)
+	}
+	// Johannesburg–London is ≈ 9070 km.
+	if d := DistanceKm(jnb, ldn); math.Abs(d-9070) > 200 {
+		t.Fatalf("JNB-LDN = %v km", d)
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	r := DefaultRegistry()
+	names := r.Names()
+	f := func(i, j uint8) bool {
+		a := r.MustGet(names[int(i)%len(names)])
+		b := r.MustGet(names[int(j)%len(names)])
+		dab := DistanceKm(a, b)
+		dba := DistanceKm(b, a)
+		if math.Abs(dab-dba) > 1e-9 {
+			return false // symmetry
+		}
+		if a.Name == b.Name {
+			return dab < 1e-9
+		}
+		return dab > 0 && dab < 2*math.Pi*earthRadiusKm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	r := DefaultRegistry()
+	names := r.Names()
+	f := func(i, j, k uint8) bool {
+		a := r.MustGet(names[int(i)%len(names)])
+		b := r.MustGet(names[int(j)%len(names)])
+		c := r.MustGet(names[int(k)%len(names)])
+		return DistanceKm(a, c) <= DistanceKm(a, b)+DistanceKm(b, c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropagationDelayMagnitudes(t *testing.T) {
+	r := DefaultRegistry()
+	jnb := r.MustGet("Johannesburg")
+	cpt := r.MustGet("Cape Town")
+	ldn := r.MustGet("London")
+
+	// JNB-CPT one-way should be single-digit ms (~8 ms with inefficiency).
+	if d := PropagationMs(jnb, cpt); d < 4 || d > 12 {
+		t.Fatalf("JNB-CPT propagation = %v ms", d)
+	}
+	// The trombone: JNB-London one-way ≈ 58 ms, i.e. >100 ms RTT — this is
+	// the latency penalty the IXP is supposed to remove.
+	if d := PropagationMs(jnb, ldn); d < 40 || d > 80 {
+		t.Fatalf("JNB-LDN propagation = %v ms", d)
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	r := DefaultRegistry()
+	if _, err := r.Get("Atlantis"); err == nil {
+		t.Fatal("unknown city accepted")
+	}
+	c, err := r.Get("Durban")
+	if err != nil || c.Country != "ZA" {
+		t.Fatalf("Durban lookup: %v %v", c, err)
+	}
+	// Add replaces.
+	r.Add(City{Name: "Durban", Country: "XX"})
+	if got := r.MustGet("Durban").Country; got != "XX" {
+		t.Fatalf("replace failed: %v", got)
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRegistry().MustGet("nowhere")
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := DefaultRegistry().Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted at %d: %v", i, names)
+		}
+	}
+	if len(names) < 15 {
+		t.Fatalf("expected a rich default registry, got %d cities", len(names))
+	}
+}

@@ -1,0 +1,314 @@
+// Package scenario builds the concrete simulated worlds the experiments
+// run on. The flagship is the South Africa scenario behind Table 1: the
+// ⟨ASN, city⟩ units the paper analyzed, a NAPAfrica-like exchange in
+// Johannesburg, domestic transit providers, content networks, donor access
+// networks that never join the exchange, and M-Lab server sites.
+package scenario
+
+import (
+	"fmt"
+
+	"sisyphus/internal/netsim/topo"
+)
+
+// Unit is an ⟨ASN, city⟩ analysis unit.
+type Unit struct {
+	ASN  topo.ASN
+	City string
+}
+
+func (u Unit) String() string { return fmt.Sprintf("AS%d/%s", u.ASN, u.City) }
+
+// SouthAfrica is the built scenario.
+type SouthAfrica struct {
+	Topo *topo.Topology
+	// IXPName is the Johannesburg exchange ("NAPAfrica-JNB").
+	IXPName string
+	// IXPPrefix is the exchange's peering LAN prefix.
+	IXPPrefix string
+	// ContentASNs are the content networks users measure against; both are
+	// founding IXP members.
+	ContentASNs []topo.ASN
+	// Treated lists the Table 1 units whose ASes join the IXP mid-study.
+	Treated []Unit
+	// TreatedASNs is the deduplicated set of joining ASes.
+	TreatedASNs []topo.ASN
+	// Donors are access units whose ASes never join (the donor pool).
+	Donors []Unit
+	// MLabServerASNs host the Johannesburg M-Lab sites (distinct ASes so
+	// randomized assignment shifts AS paths).
+	MLabServerASNs []topo.ASN
+}
+
+// AllUnits returns treated then donor units.
+func (s *SouthAfrica) AllUnits() []Unit {
+	out := append([]Unit(nil), s.Treated...)
+	return append(out, s.Donors...)
+}
+
+// UserPoP returns the PoP a unit's users measure from.
+func (s *SouthAfrica) UserPoP(u Unit) (topo.PoPID, error) {
+	return s.Topo.FindPoP(u.ASN, u.City)
+}
+
+// Transit / backbone ASNs in the scenario.
+const (
+	EuroBackbone topo.ASN = 1299
+	ZATransitA   topo.ASN = 5400
+	ZATransitB   topo.ASN = 5500
+	BigContent   topo.ASN = 4001
+	VideoCDN     topo.ASN = 4002
+	MLabHostA    topo.ASN = 64500
+	MLabHostB    topo.ASN = 64501
+)
+
+// BuildSouthAfrica constructs the scenario topology. The IXP starts with
+// the content networks as members; access networks join later via
+// engine.EvJoinIXP (the treatment).
+func BuildSouthAfrica() (*SouthAfrica, error) {
+	const ixpName = "NAPAfrica-JNB"
+	const ixpPrefix = "196.60.8."
+
+	b := topo.NewBuilder(nil).
+		// Backbone and domestic transit.
+		AddAS(EuroBackbone, "EuroBackbone", topo.Transit, "London", "Johannesburg").
+		AddAS(ZATransitA, "ZA-Transit-A", topo.Transit, "Johannesburg", "Cape Town", "Durban").
+		AddAS(ZATransitB, "ZA-Transit-B", topo.Transit, "Johannesburg", "East London", "Polokwane", "Bloemfontein").
+		// Content networks.
+		AddAS(BigContent, "BigContent", topo.Content, "Johannesburg", "Durban", "London").
+		AddAS(VideoCDN, "VideoCDN", topo.Content, "Johannesburg", "Cape Town").
+		// M-Lab server hosts.
+		AddAS(MLabHostA, "MLab-Host-A", topo.Content, "Johannesburg").
+		AddAS(MLabHostB, "MLab-Host-B", topo.Content, "Johannesburg").
+		// Transit fabric: domestic transits buy from the backbone and peer
+		// with each other in Johannesburg, keeping domestic paths domestic.
+		Connect(ZATransitA, "Johannesburg", topo.CustomerOf, EuroBackbone, "Johannesburg",
+			topo.WithBaseUtil(0.4), topo.WithCapacity(100000)).
+		Connect(ZATransitB, "Johannesburg", topo.CustomerOf, EuroBackbone, "Johannesburg",
+			topo.WithBaseUtil(0.38), topo.WithCapacity(100000)).
+		Connect(ZATransitA, "Johannesburg", topo.PeerWith, ZATransitB, "Johannesburg",
+			topo.WithBaseUtil(0.42), topo.WithCapacity(50000)).
+		// Content homing: BigContent buys from Transit-A (Johannesburg and
+		// Durban) and from the backbone (both London and Johannesburg, so
+		// backbone customers stay domestic).
+		Connect(BigContent, "Johannesburg", topo.CustomerOf, ZATransitA, "Johannesburg",
+			topo.WithBaseUtil(0.42), topo.WithCapacity(100000)).
+		Connect(BigContent, "Durban", topo.CustomerOf, ZATransitA, "Durban",
+			topo.WithBaseUtil(0.4), topo.WithCapacity(50000)).
+		Connect(BigContent, "London", topo.CustomerOf, EuroBackbone, "London",
+			topo.WithBaseUtil(0.4), topo.WithCapacity(200000)).
+		Connect(BigContent, "Johannesburg", topo.CustomerOf, EuroBackbone, "Johannesburg",
+			topo.WithBaseUtil(0.45), topo.WithCapacity(100000)).
+		// VideoCDN buys from Transit-B.
+		Connect(VideoCDN, "Johannesburg", topo.CustomerOf, ZATransitB, "Johannesburg",
+			topo.WithBaseUtil(0.4), topo.WithCapacity(100000)).
+		Connect(VideoCDN, "Cape Town", topo.CustomerOf, ZATransitA, "Cape Town",
+			topo.WithBaseUtil(0.4), topo.WithCapacity(50000)).
+		// M-Lab hosts.
+		Connect(MLabHostA, "Johannesburg", topo.CustomerOf, ZATransitA, "Johannesburg",
+			topo.WithBaseUtil(0.35), topo.WithCapacity(20000)).
+		Connect(MLabHostB, "Johannesburg", topo.CustomerOf, ZATransitB, "Johannesburg",
+			topo.WithBaseUtil(0.3), topo.WithCapacity(20000)).
+		AddIXP(ixpName, "Johannesburg", ixpPrefix)
+
+	// Treated access networks: the Table 1 ASNs. Every joining AS needs a
+	// Johannesburg PoP (that is where the exchange is).
+	type accessDef struct {
+		asn      topo.ASN
+		homeCity string
+		upstream topo.ASN
+		upCity   string
+		util     float64
+	}
+	treatedDefs := []accessDef{
+		{3741, "East London", ZATransitB, "East London", 0.45},
+		{37053, "Cape Town", ZATransitA, "Cape Town", 0.38},
+		{37611, "Edenvale", ZATransitA, "Johannesburg", 0.42},
+		{37680, "Durban", ZATransitA, "Durban", 0.35},
+		{327966, "Polokwane", ZATransitB, "Polokwane", 0.5},
+		{328622, "eMuziwezinto", ZATransitB, "Johannesburg", 0.4},
+		{328745, "Johannesburg", ZATransitB, "Johannesburg", 0.42},
+	}
+	for _, d := range treatedDefs {
+		cities := []string{d.homeCity}
+		if d.homeCity != "Johannesburg" {
+			cities = append(cities, "Johannesburg")
+		}
+		b.AddAS(d.asn, fmt.Sprintf("Access-%d", d.asn), topo.Access, cities...)
+		b.Connect(d.asn, d.homeCity, topo.CustomerOf, d.upstream, d.upCity,
+			topo.WithBaseUtil(d.util), topo.WithCapacity(10000))
+	}
+	// 3741 is additionally multihomed to Transit-A in Johannesburg (it has
+	// two Table 1 units and more route diversity).
+	b.Connect(3741, "Johannesburg", topo.CustomerOf, ZATransitA, "Johannesburg",
+		topo.WithBaseUtil(0.5), topo.WithCapacity(10000))
+
+	// Donor access networks: never join the IXP.
+	donorDefs := []accessDef{
+		{16637, "Pretoria", ZATransitA, "Johannesburg", 0.42},
+		{29975, "Cape Town", ZATransitA, "Cape Town", 0.38},
+		{36874, "Johannesburg", ZATransitB, "Johannesburg", 0.45},
+		{37457, "Durban", ZATransitA, "Durban", 0.4},
+		{327700, "Bloemfontein", ZATransitB, "Bloemfontein", 0.5},
+		{328111, "Pretoria", ZATransitB, "Johannesburg", 0.42},
+		{37168, "Cape Town", ZATransitA, "Cape Town", 0.45},
+		{36994, "East London", ZATransitB, "East London", 0.42},
+		{327999, "Polokwane", ZATransitB, "Polokwane", 0.5},
+		{328333, "Johannesburg", ZATransitA, "Johannesburg", 0.38},
+		{328444, "Durban", ZATransitA, "Durban", 0.45},
+		{328555, "Edenvale", ZATransitA, "Johannesburg", 0.42},
+		{329001, "Johannesburg", ZATransitA, "Johannesburg", 0.4},
+		{329002, "Cape Town", ZATransitA, "Cape Town", 0.42},
+		{329003, "Durban", ZATransitA, "Durban", 0.38},
+		{329004, "Polokwane", ZATransitB, "Polokwane", 0.45},
+		{329005, "East London", ZATransitB, "East London", 0.4},
+		{329006, "Pretoria", ZATransitB, "Johannesburg", 0.45},
+	}
+	for _, d := range donorDefs {
+		b.AddAS(d.asn, fmt.Sprintf("Donor-%d", d.asn), topo.Access, d.homeCity)
+		b.Connect(d.asn, d.homeCity, topo.CustomerOf, d.upstream, d.upCity,
+			topo.WithBaseUtil(d.util), topo.WithCapacity(10000))
+	}
+
+	t, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	// Content networks are founding exchange members.
+	for _, c := range []topo.ASN{BigContent, VideoCDN} {
+		if _, err := t.JoinIXP(ixpName, c); err != nil {
+			return nil, err
+		}
+	}
+
+	s := &SouthAfrica{
+		Topo:        t,
+		IXPName:     ixpName,
+		IXPPrefix:   ixpPrefix,
+		ContentASNs: []topo.ASN{BigContent, VideoCDN},
+		Treated: []Unit{
+			{3741, "East London"},
+			{3741, "Johannesburg"},
+			{37053, "Cape Town"},
+			{37611, "Edenvale"},
+			{37680, "Durban"},
+			{327966, "Polokwane"},
+			{328622, "eMuziwezinto"},
+			{328745, "Johannesburg"},
+		},
+		TreatedASNs:    []topo.ASN{3741, 37053, 37611, 37680, 327966, 328622, 328745},
+		MLabServerASNs: []topo.ASN{MLabHostA, MLabHostB},
+	}
+	for _, d := range donorDefs {
+		s.Donors = append(s.Donors, Unit{d.asn, d.homeCity})
+	}
+	return s, nil
+}
+
+// BuildTromboneEra constructs the historical counterpart of the Table 1
+// world: the era before domestic interconnection, when South African
+// networks reached even local content by tromboning through Europe. The
+// content network has no domestic transit and no local peering — only a
+// London uplink plus a cache at the Johannesburg exchange. Joining the IXP
+// in this world collapses RTT by two orders of magnitude, which is why the
+// "IXPs cut latency" belief formed; Table 1 measures the same intervention
+// after the low-hanging fruit was gone.
+func BuildTromboneEra() (*SouthAfrica, error) {
+	const ixpName = "NAPAfrica-JNB"
+	const ixpPrefix = "196.60.8."
+
+	b := topo.NewBuilder(nil).
+		AddAS(EuroBackbone, "EuroBackbone", topo.Transit, "London", "Johannesburg").
+		AddAS(ZATransitA, "ZA-Transit-A", topo.Transit, "Johannesburg", "Cape Town", "Durban").
+		AddAS(ZATransitB, "ZA-Transit-B", topo.Transit, "Johannesburg", "East London", "Polokwane", "Bloemfontein").
+		AddAS(BigContent, "BigContent", topo.Content, "London", "Johannesburg").
+		Connect(ZATransitA, "Johannesburg", topo.CustomerOf, EuroBackbone, "Johannesburg",
+			topo.WithBaseUtil(0.45), topo.WithCapacity(20000)).
+		Connect(ZATransitB, "Johannesburg", topo.CustomerOf, EuroBackbone, "Johannesburg",
+			topo.WithBaseUtil(0.42), topo.WithCapacity(20000)).
+		// The content network's ONLY uplink is in London: no domestic
+		// transit, no local peering. All South African demand trombones.
+		Connect(BigContent, "London", topo.CustomerOf, EuroBackbone, "London",
+			topo.WithBaseUtil(0.4), topo.WithCapacity(200000)).
+		AddIXP(ixpName, "Johannesburg", ixpPrefix)
+
+	type accessDef struct {
+		asn      topo.ASN
+		homeCity string
+		upstream topo.ASN
+		upCity   string
+		util     float64
+	}
+	treatedDefs := []accessDef{
+		{3741, "East London", ZATransitB, "East London", 0.45},
+		{37053, "Cape Town", ZATransitA, "Cape Town", 0.38},
+		{37611, "Edenvale", ZATransitA, "Johannesburg", 0.42},
+		{37680, "Durban", ZATransitA, "Durban", 0.35},
+		{327966, "Polokwane", ZATransitB, "Polokwane", 0.5},
+		{328622, "eMuziwezinto", ZATransitB, "Johannesburg", 0.4},
+		{328745, "Johannesburg", ZATransitB, "Johannesburg", 0.42},
+	}
+	for _, d := range treatedDefs {
+		cities := []string{d.homeCity}
+		if d.homeCity != "Johannesburg" {
+			cities = append(cities, "Johannesburg")
+		}
+		b.AddAS(d.asn, fmt.Sprintf("Access-%d", d.asn), topo.Access, cities...)
+		b.Connect(d.asn, d.homeCity, topo.CustomerOf, d.upstream, d.upCity,
+			topo.WithBaseUtil(d.util), topo.WithCapacity(5000))
+	}
+	donorDefs := []accessDef{
+		{16637, "Pretoria", ZATransitA, "Johannesburg", 0.42},
+		{29975, "Cape Town", ZATransitA, "Cape Town", 0.38},
+		{36874, "Johannesburg", ZATransitB, "Johannesburg", 0.45},
+		{37457, "Durban", ZATransitA, "Durban", 0.4},
+		{327700, "Bloemfontein", ZATransitB, "Bloemfontein", 0.5},
+		{328111, "Pretoria", ZATransitB, "Johannesburg", 0.42},
+		{37168, "Cape Town", ZATransitA, "Cape Town", 0.45},
+		{36994, "East London", ZATransitB, "East London", 0.42},
+		{327999, "Polokwane", ZATransitB, "Polokwane", 0.5},
+		{328333, "Johannesburg", ZATransitA, "Johannesburg", 0.38},
+		{328444, "Durban", ZATransitA, "Durban", 0.45},
+		{328555, "Edenvale", ZATransitA, "Johannesburg", 0.42},
+		{329001, "Johannesburg", ZATransitA, "Johannesburg", 0.4},
+		{329002, "Cape Town", ZATransitA, "Cape Town", 0.42},
+		{329003, "Durban", ZATransitA, "Durban", 0.38},
+		{329004, "Polokwane", ZATransitB, "Polokwane", 0.45},
+		{329005, "East London", ZATransitB, "East London", 0.4},
+		{329006, "Pretoria", ZATransitB, "Johannesburg", 0.45},
+	}
+	for _, d := range donorDefs {
+		b.AddAS(d.asn, fmt.Sprintf("Donor-%d", d.asn), topo.Access, d.homeCity)
+		b.Connect(d.asn, d.homeCity, topo.CustomerOf, d.upstream, d.upCity,
+			topo.WithBaseUtil(d.util), topo.WithCapacity(5000))
+	}
+
+	t, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := t.JoinIXP(ixpName, BigContent); err != nil {
+		return nil, err
+	}
+	s := &SouthAfrica{
+		Topo:        t,
+		IXPName:     ixpName,
+		IXPPrefix:   ixpPrefix,
+		ContentASNs: []topo.ASN{BigContent},
+		Treated: []Unit{
+			{3741, "East London"},
+			{3741, "Johannesburg"},
+			{37053, "Cape Town"},
+			{37611, "Edenvale"},
+			{37680, "Durban"},
+			{327966, "Polokwane"},
+			{328622, "eMuziwezinto"},
+			{328745, "Johannesburg"},
+		},
+		TreatedASNs: []topo.ASN{3741, 37053, 37611, 37680, 327966, 328622, 328745},
+	}
+	for _, d := range donorDefs {
+		s.Donors = append(s.Donors, Unit{d.asn, d.homeCity})
+	}
+	return s, nil
+}

@@ -1,0 +1,152 @@
+package topo
+
+import (
+	"fmt"
+
+	"sisyphus/internal/mathx"
+	"sisyphus/internal/netsim/geo"
+)
+
+// GenConfig controls random hierarchical topology generation.
+type GenConfig struct {
+	Tier1  int // clique of peering transit backbones
+	Tier2  int // regional transits, customers of 1-2 tier1s
+	Access int // eyeball networks, customers of 1-2 tier2s
+	// Content networks, customers of 1-2 tier1s with PoPs in many cities.
+	Content int
+	// MultihomeProb is the probability a lower-tier AS buys from a second
+	// upstream (creating route diversity and natural experiments).
+	MultihomeProb float64
+	// PeerProb is the probability two tier2s peer directly.
+	PeerProb float64
+}
+
+// DefaultGenConfig returns a modest Internet-like mix.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{Tier1: 3, Tier2: 6, Access: 12, Content: 3, MultihomeProb: 0.5, PeerProb: 0.3}
+}
+
+// Generate builds a random three-tier topology with Gao–Rexford-consistent
+// relationships: tier1s form a peering clique and span several cities,
+// tier2s buy from tier1s, access networks buy from tier2s, and content
+// networks buy from tier1s. ASNs are assigned deterministically:
+// tier1 = 1000+, tier2 = 2000+, access = 3000+, content = 4000+.
+func Generate(r *mathx.RNG, cfg GenConfig, reg *geo.Registry) (*Topology, error) {
+	if reg == nil {
+		reg = geo.DefaultRegistry()
+	}
+	cities := reg.Names()
+	if len(cities) < 3 {
+		return nil, fmt.Errorf("topo: need at least 3 cities to generate")
+	}
+	if cfg.Tier1 < 1 || cfg.Tier2 < 1 || cfg.Access < 1 {
+		return nil, fmt.Errorf("topo: generation needs at least one AS per tier")
+	}
+	b := NewBuilder(reg)
+
+	pick := func() string { return cities[r.Intn(len(cities))] }
+	pickN := func(n int) []string {
+		perm := r.Perm(len(cities))
+		if n > len(cities) {
+			n = len(cities)
+		}
+		out := make([]string, n)
+		for i := 0; i < n; i++ {
+			out[i] = cities[perm[i]]
+		}
+		return out
+	}
+
+	tier1 := make([]ASN, cfg.Tier1)
+	tier1Cities := make([][]string, cfg.Tier1)
+	for i := range tier1 {
+		tier1[i] = ASN(1000 + i)
+		tier1Cities[i] = pickN(3 + r.Intn(3))
+		b.AddAS(tier1[i], fmt.Sprintf("Tier1-%d", i), Transit, tier1Cities[i]...)
+	}
+	// Tier1 clique: peer in a shared city when possible, else first cities.
+	for i := 0; i < cfg.Tier1; i++ {
+		for j := i + 1; j < cfg.Tier1; j++ {
+			ci, cj := meetingPoint(tier1Cities[i], tier1Cities[j])
+			b.Connect(tier1[i], ci, PeerWith, tier1[j], cj,
+				WithCapacity(400000), WithBaseUtil(0.2+0.2*r.Float64()))
+		}
+	}
+
+	tier2 := make([]ASN, cfg.Tier2)
+	tier2Cities := make([][]string, cfg.Tier2)
+	for i := range tier2 {
+		tier2[i] = ASN(2000 + i)
+		tier2Cities[i] = pickN(2 + r.Intn(2))
+		b.AddAS(tier2[i], fmt.Sprintf("Tier2-%d", i), Transit, tier2Cities[i]...)
+		up := r.Intn(cfg.Tier1)
+		ci, cj := meetingPoint(tier2Cities[i], tier1Cities[up])
+		b.Connect(tier2[i], ci, CustomerOf, tier1[up], cj,
+			WithCapacity(100000), WithBaseUtil(0.25+0.25*r.Float64()))
+		if r.Bernoulli(cfg.MultihomeProb) && cfg.Tier1 > 1 {
+			up2 := (up + 1 + r.Intn(cfg.Tier1-1)) % cfg.Tier1
+			ci, cj := meetingPoint(tier2Cities[i], tier1Cities[up2])
+			b.Connect(tier2[i], ci, CustomerOf, tier1[up2], cj,
+				WithCapacity(100000), WithBaseUtil(0.25+0.25*r.Float64()))
+		}
+	}
+	for i := 0; i < cfg.Tier2; i++ {
+		for j := i + 1; j < cfg.Tier2; j++ {
+			if r.Bernoulli(cfg.PeerProb) {
+				ci, cj := meetingPoint(tier2Cities[i], tier2Cities[j])
+				b.Connect(tier2[i], ci, PeerWith, tier2[j], cj,
+					WithCapacity(50000), WithBaseUtil(0.2+0.3*r.Float64()))
+			}
+		}
+	}
+
+	for i := 0; i < cfg.Access; i++ {
+		asn := ASN(3000 + i)
+		city := pick()
+		b.AddAS(asn, fmt.Sprintf("Access-%d", i), Access, city)
+		up := r.Intn(cfg.Tier2)
+		_, cj := meetingPoint([]string{city}, tier2Cities[up])
+		b.Connect(asn, city, CustomerOf, tier2[up], cj,
+			WithCapacity(10000), WithBaseUtil(0.3+0.3*r.Float64()))
+		if r.Bernoulli(cfg.MultihomeProb) && cfg.Tier2 > 1 {
+			up2 := (up + 1 + r.Intn(cfg.Tier2-1)) % cfg.Tier2
+			_, cj := meetingPoint([]string{city}, tier2Cities[up2])
+			b.Connect(asn, city, CustomerOf, tier2[up2], cj,
+				WithCapacity(10000), WithBaseUtil(0.3+0.3*r.Float64()))
+		}
+	}
+
+	for i := 0; i < cfg.Content; i++ {
+		asn := ASN(4000 + i)
+		cs := pickN(2 + r.Intn(3))
+		b.AddAS(asn, fmt.Sprintf("Content-%d", i), Content, cs...)
+		up := r.Intn(cfg.Tier1)
+		ci, cj := meetingPoint(cs, tier1Cities[up])
+		b.Connect(asn, ci, CustomerOf, tier1[up], cj,
+			WithCapacity(200000), WithBaseUtil(0.3+0.2*r.Float64()))
+		if r.Bernoulli(cfg.MultihomeProb) && cfg.Tier1 > 1 {
+			up2 := (up + 1 + r.Intn(cfg.Tier1-1)) % cfg.Tier1
+			ci, cj := meetingPoint(cs, tier1Cities[up2])
+			b.Connect(asn, ci, CustomerOf, tier1[up2], cj,
+				WithCapacity(200000), WithBaseUtil(0.3+0.2*r.Float64()))
+		}
+	}
+
+	return b.Build()
+}
+
+// meetingPoint picks interconnection cities for two ASes: a shared city if
+// one exists (private interconnect at a common facility), otherwise each
+// side's first city (a long-haul link).
+func meetingPoint(a, b []string) (string, string) {
+	inB := make(map[string]bool, len(b))
+	for _, c := range b {
+		inB[c] = true
+	}
+	for _, c := range a {
+		if inB[c] {
+			return c, c
+		}
+	}
+	return a[0], b[0]
+}

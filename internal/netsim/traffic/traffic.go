@@ -1,0 +1,169 @@
+// Package traffic models background load: diurnal demand curves, smooth
+// stochastic variation, and flash crowds. Link utilization produced here is
+// the simulator's congestion variable C — the confounder of the paper's
+// running example, since it both raises queueing latency (C → L) and
+// triggers load-adaptive egress switching (C → R).
+package traffic
+
+import (
+	"math"
+
+	"sisyphus/internal/mathx"
+	"sisyphus/internal/netsim/topo"
+)
+
+// Diurnal returns the demand multiplier at the given UTC hour for a city
+// with the given UTC offset. The curve peaks around 20:00 local (evening
+// streaming) and bottoms around 04:00 local, ranging over [0.55, 1.45].
+func Diurnal(utcHour, utcOffset float64) float64 {
+	local := math.Mod(utcHour+utcOffset, 24)
+	if local < 0 {
+		local += 24
+	}
+	// Peak at 20h: cos((local-20)/24·2π) = 1 at local = 20.
+	return 1 + 0.45*math.Cos((local-20)/24*2*math.Pi)
+}
+
+// FlashCrowd is a transient demand surge on one link.
+type FlashCrowd struct {
+	Link      topo.LinkID
+	StartHour float64
+	Hours     float64
+	// Magnitude adds to utilization at the peak; the surge ramps linearly
+	// up over the first quarter and down over the last quarter.
+	Magnitude float64
+}
+
+// activeFactor returns the surge contribution at time t.
+func (f FlashCrowd) activeFactor(t float64) float64 {
+	if t < f.StartHour || t > f.StartHour+f.Hours {
+		return 0
+	}
+	pos := (t - f.StartHour) / f.Hours
+	switch {
+	case pos < 0.25:
+		return f.Magnitude * pos / 0.25
+	case pos > 0.75:
+		return f.Magnitude * (1 - pos) / 0.25
+	default:
+		return f.Magnitude
+	}
+}
+
+// Model computes per-link utilization over time. Each link carries an AR(1)
+// noise process whose RNG is derived from the model seed and the link ID, so
+// two runs with the same seed produce identical noise for links they share —
+// the property counterfactual replay relies on.
+type Model struct {
+	topo  *topo.Topology
+	seed  uint64
+	noise map[topo.LinkID]*ar1
+	flash []FlashCrowd
+	// ShiftedLoad adds a permanent utilization delta per link from a given
+	// hour (e.g. traffic moving onto a new IXP link after a join).
+	shifts map[topo.LinkID][]loadShift
+}
+
+type loadShift struct {
+	fromHour float64
+	delta    float64
+}
+
+type ar1 struct {
+	rng   *mathx.RNG
+	state float64
+	// phi is persistence, sigma the innovation scale.
+	phi, sigma float64
+	lastStep   int
+}
+
+// NewModel returns a utilization model for the topology.
+func NewModel(t *topo.Topology, seed uint64) *Model {
+	return &Model{
+		topo:   t,
+		seed:   seed,
+		noise:  make(map[topo.LinkID]*ar1),
+		shifts: make(map[topo.LinkID][]loadShift),
+	}
+}
+
+// AddFlashCrowd schedules a demand surge.
+func (m *Model) AddFlashCrowd(f FlashCrowd) { m.flash = append(m.flash, f) }
+
+// AddLoadShift permanently changes a link's baseline utilization from the
+// given hour onward (positive or negative).
+func (m *Model) AddLoadShift(id topo.LinkID, fromHour, delta float64) {
+	m.shifts[id] = append(m.shifts[id], loadShift{fromHour, delta})
+}
+
+func (m *Model) noiseFor(id topo.LinkID) *ar1 {
+	n, ok := m.noise[id]
+	if !ok {
+		n = &ar1{
+			rng:      mathx.NewRNG(m.seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15),
+			phi:      0.9,
+			sigma:    0.02,
+			lastStep: -1,
+		}
+		m.noise[id] = n
+	}
+	return n
+}
+
+// Utilization returns the link's utilization at the given UTC hour, for the
+// given integer step index (noise advances once per step). The result is
+// clamped to [0, 0.985] so queueing delay stays finite.
+func (m *Model) Utilization(id topo.LinkID, utcHour float64, step int) float64 {
+	l := m.topo.Link(id)
+	cityA := m.topo.Registry.MustGet(m.topo.PoP(l.A).City)
+	base := l.BaseUtil * Diurnal(utcHour, cityA.UTCOffset)
+
+	n := m.noiseFor(id)
+	for n.lastStep < step {
+		n.state = n.phi*n.state + n.rng.Normal(0, n.sigma)
+		n.lastStep++
+	}
+	u := base + n.state
+	for _, f := range m.flash {
+		if f.Link == id {
+			u += f.activeFactor(utcHour)
+		}
+	}
+	for _, s := range m.shifts[id] {
+		if utcHour >= s.fromHour {
+			u += s.delta
+		}
+	}
+	if u < 0 {
+		return 0
+	}
+	if u > 0.985 {
+		return 0.985
+	}
+	return u
+}
+
+// QueueingDelayMs converts utilization into the mean queueing delay added
+// by a link, with an M/M/1-flavoured ρ/(1−ρ) blow-up scaled by scaleMs.
+func QueueingDelayMs(util, scaleMs float64) float64 {
+	if util >= 1 {
+		util = 0.999
+	}
+	if util < 0 {
+		util = 0
+	}
+	return scaleMs * util / (1 - util)
+}
+
+// LossRate maps utilization to packet loss: zero below 0.9, rising linearly
+// to 5% at saturation.
+func LossRate(util float64) float64 {
+	if util <= 0.9 {
+		return 0
+	}
+	frac := (util - 0.9) / 0.1
+	if frac > 1 {
+		frac = 1
+	}
+	return 0.05 * frac
+}

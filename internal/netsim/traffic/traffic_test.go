@@ -1,0 +1,173 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"sisyphus/internal/netsim/topo"
+)
+
+func testTopo(t *testing.T) *topo.Topology {
+	t.Helper()
+	tp, err := topo.NewBuilder(nil).
+		AddAS(1, "A", topo.Access, "Johannesburg").
+		AddAS(2, "B", topo.Transit, "Johannesburg").
+		Connect(1, "Johannesburg", topo.CustomerOf, 2, "Johannesburg", topo.WithBaseUtil(0.5)).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func TestDiurnalShape(t *testing.T) {
+	// Peak at 20:00 local, trough at 08:00 local.
+	peak := Diurnal(20, 0)
+	trough := Diurnal(8, 0)
+	if math.Abs(peak-1.45) > 1e-9 {
+		t.Fatalf("peak = %v", peak)
+	}
+	if math.Abs(trough-0.55) > 1e-9 {
+		t.Fatalf("trough = %v", trough)
+	}
+	// Timezone shifting: 18:00 UTC at offset +2 is 20:00 local.
+	if got := Diurnal(18, 2); math.Abs(got-peak) > 1e-9 {
+		t.Fatalf("tz shift = %v want %v", got, peak)
+	}
+	// Periodicity.
+	if math.Abs(Diurnal(3, 0)-Diurnal(27, 0)) > 1e-9 {
+		t.Fatal("not 24h periodic")
+	}
+	// Negative local hours handled.
+	if v := Diurnal(1, -5); v <= 0 {
+		t.Fatalf("negative local hour = %v", v)
+	}
+}
+
+func TestUtilizationDeterministicPerSeed(t *testing.T) {
+	tp := testTopo(t)
+	m1 := NewModel(tp, 42)
+	m2 := NewModel(tp, 42)
+	m3 := NewModel(tp, 43)
+	var diff bool
+	for step := 0; step < 50; step++ {
+		h := float64(step)
+		u1 := m1.Utilization(0, h, step)
+		u2 := m2.Utilization(0, h, step)
+		if u1 != u2 {
+			t.Fatal("same seed diverged")
+		}
+		if u1 != m3.Utilization(0, h, step) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds never diverged")
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	tp := testTopo(t)
+	m := NewModel(tp, 7)
+	m.AddFlashCrowd(FlashCrowd{Link: 0, StartHour: 10, Hours: 4, Magnitude: 3})
+	for step := 0; step < 100; step++ {
+		u := m.Utilization(0, float64(step)*0.25, step)
+		if u < 0 || u > 0.985 {
+			t.Fatalf("util out of bounds: %v", u)
+		}
+	}
+}
+
+func TestFlashCrowdRampsAndEnds(t *testing.T) {
+	f := FlashCrowd{Link: 0, StartHour: 10, Hours: 4, Magnitude: 0.4}
+	if f.activeFactor(9.9) != 0 {
+		t.Fatal("active before start")
+	}
+	if f.activeFactor(14.1) != 0 {
+		t.Fatal("active after end")
+	}
+	if got := f.activeFactor(12); math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("plateau = %v", got)
+	}
+	if got := f.activeFactor(10.5); got <= 0 || got >= 0.4 {
+		t.Fatalf("ramp-up = %v", got)
+	}
+	if got := f.activeFactor(13.5); got <= 0 || got >= 0.4 {
+		t.Fatalf("ramp-down = %v", got)
+	}
+}
+
+func TestLoadShiftApplies(t *testing.T) {
+	tp := testTopo(t)
+	base := NewModel(tp, 5)
+	shifted := NewModel(tp, 5)
+	shifted.AddLoadShift(0, 24, -0.2)
+	// Before hour 24: identical. After: shifted is lower.
+	uBefore1 := base.Utilization(0, 10, 0)
+	uBefore2 := shifted.Utilization(0, 10, 0)
+	if uBefore1 != uBefore2 {
+		t.Fatal("shift applied too early")
+	}
+	uAfter1 := base.Utilization(0, 30, 1)
+	uAfter2 := shifted.Utilization(0, 30, 1)
+	if !(uAfter2 < uAfter1) {
+		t.Fatalf("shift not applied: %v vs %v", uAfter2, uAfter1)
+	}
+}
+
+func TestNoiseSharedAcrossRunsPerLink(t *testing.T) {
+	// Counterfactual property: a model over the same topology and seed
+	// yields identical noise per link even if OTHER links are queried in a
+	// different order.
+	tp, err := topo.NewBuilder(nil).
+		AddAS(1, "A", topo.Access, "Johannesburg").
+		AddAS(2, "B", topo.Transit, "Johannesburg").
+		AddAS(3, "C", topo.Transit, "Johannesburg").
+		Connect(1, "Johannesburg", topo.CustomerOf, 2, "Johannesburg", topo.WithBaseUtil(0.4)).
+		Connect(1, "Johannesburg", topo.CustomerOf, 3, "Johannesburg", topo.WithBaseUtil(0.4)).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := NewModel(tp, 99)
+	m2 := NewModel(tp, 99)
+	// m1 queries link 1 first; m2 queries link 0 first.
+	_ = m1.Utilization(1, 0, 0)
+	a1 := m1.Utilization(0, 0, 0)
+	a2 := m2.Utilization(0, 0, 0)
+	if a1 != a2 {
+		t.Fatal("per-link noise depends on query order")
+	}
+}
+
+func TestQueueingDelayMonotone(t *testing.T) {
+	prev := -1.0
+	for u := 0.0; u < 0.99; u += 0.05 {
+		d := QueueingDelayMs(u, 0.3)
+		if d < prev {
+			t.Fatalf("queueing delay not monotone at %v", u)
+		}
+		prev = d
+	}
+	if QueueingDelayMs(0, 0.3) != 0 {
+		t.Fatal("idle link should add no queueing")
+	}
+	if QueueingDelayMs(1.5, 0.3) <= QueueingDelayMs(0.9, 0.3) {
+		t.Fatal("saturated delay should be large but finite")
+	}
+	if QueueingDelayMs(-1, 0.3) != 0 {
+		t.Fatal("negative util should clamp")
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	if LossRate(0.5) != 0 {
+		t.Fatal("loss below threshold")
+	}
+	if got := LossRate(0.95); math.Abs(got-0.025) > 1e-9 {
+		t.Fatalf("loss(0.95) = %v", got)
+	}
+	if got := LossRate(2); got != 0.05 {
+		t.Fatalf("loss cap = %v", got)
+	}
+}

@@ -1,0 +1,140 @@
+package platform
+
+import (
+	"fmt"
+
+	"sisyphus/internal/netsim/topo"
+	"sisyphus/internal/probe"
+)
+
+// Campaign bundles a measurement design — scheduled baselines, endogenous
+// user populations, conditional BGP watches, and randomized M-Lab pools —
+// and drives them in lockstep with the simulation clock, landing everything
+// in one intent-tagged Store. It is the executable form of §4's
+// "measurement-for-causality" platform: a study declares *why* each
+// measurement stream exists, and the tags survive into analysis.
+type Campaign struct {
+	Prober *probe.Prober
+	Store  *Store
+
+	users     []*UserModel
+	baselines []*Baseline
+	watches   []*BGPWatch
+	pools     []pooledUser
+
+	// Observations accumulates user-model step observations (population
+	// ground truth) when KeepObservations is set.
+	KeepObservations bool
+	Observations     []StepObservation
+}
+
+type pooledUser struct {
+	pool  *MLabPool
+	user  topo.PoPID
+	every int
+	count int
+}
+
+// NewCampaign creates a campaign writing into the given store.
+func NewCampaign(pr *probe.Prober, store *Store) *Campaign {
+	if store == nil {
+		store = NewStore()
+	}
+	return &Campaign{Prober: pr, Store: store}
+}
+
+// AddUsers attaches an endogenous user population model.
+func (c *Campaign) AddUsers(um *UserModel) *Campaign {
+	c.users = append(c.users, um)
+	return c
+}
+
+// AddBaseline schedules a fixed-cadence probe.
+func (c *Campaign) AddBaseline(b *Baseline) *Campaign {
+	c.baselines = append(c.baselines, b)
+	return c
+}
+
+// AddWatch attaches a conditional BGP-triggered probe.
+func (c *Campaign) AddWatch(w *BGPWatch) *Campaign {
+	c.watches = append(c.watches, w)
+	return c
+}
+
+// AddPool schedules one randomized pool test for the user every `every`
+// steps.
+func (c *Campaign) AddPool(pool *MLabPool, user topo.PoPID, every int) *Campaign {
+	if every < 1 {
+		every = 1
+	}
+	c.pools = append(c.pools, pooledUser{pool: pool, user: user, every: every})
+	return c
+}
+
+// Step advances the engine one step and runs every collector.
+func (c *Campaign) Step() error {
+	e := c.Prober.Engine
+	if err := e.Step(); err != nil {
+		return err
+	}
+	for _, um := range c.users {
+		obs, ms, err := um.Step(c.Prober)
+		if err != nil {
+			return fmt.Errorf("platform: user model: %w", err)
+		}
+		c.Store.Add(ms...)
+		if c.KeepObservations {
+			c.Observations = append(c.Observations, obs...)
+		}
+	}
+	for _, b := range c.baselines {
+		m, err := b.Step(c.Prober)
+		if err != nil {
+			return fmt.Errorf("platform: baseline: %w", err)
+		}
+		if m != nil {
+			c.Store.Add(m)
+		}
+	}
+	for _, w := range c.watches {
+		m, err := w.Step(c.Prober)
+		if err != nil {
+			return fmt.Errorf("platform: bgp watch: %w", err)
+		}
+		if m != nil {
+			c.Store.Add(m)
+		}
+	}
+	for i := range c.pools {
+		p := &c.pools[i]
+		p.count++
+		if p.count%p.every != 0 {
+			continue
+		}
+		m, _, err := p.pool.RunTest(c.Prober, p.user)
+		if err != nil {
+			return fmt.Errorf("platform: pool %s: %w", p.pool.Metro, err)
+		}
+		c.Store.Add(m)
+	}
+	return nil
+}
+
+// RunUntil steps the campaign until the engine clock reaches hour.
+func (c *Campaign) RunUntil(hour float64) error {
+	for c.Prober.Engine.Hour() < hour {
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IntentCounts summarizes collected volume per intent tag.
+func (c *Campaign) IntentCounts() map[probe.Intent]int {
+	out := make(map[probe.Intent]int)
+	for _, m := range c.Store.All() {
+		out[m.Intent]++
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package platform
+
+import (
+	"testing"
+
+	"sisyphus/internal/netsim/engine"
+	"sisyphus/internal/netsim/scenario"
+	"sisyphus/internal/netsim/topo"
+	"sisyphus/internal/probe"
+)
+
+func TestCampaignCollectsAllStreams(t *testing.T) {
+	s, e, p := world(t)
+	src, _ := s.Topo.FindPoP(328745, "Johannesburg")
+	rib, _ := e.RIB()
+	dst, err := rib.NearestPoP(src, scenario.BigContent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var servers []topo.PoPID
+	for _, asn := range s.MLabServerASNs {
+		id, _ := s.Topo.FindPoP(asn, "Johannesburg")
+		servers = append(servers, id)
+	}
+	pool, err := NewMLabPool("jnb", servers, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCampaign(p, nil)
+	c.KeepObservations = true
+	c.AddUsers(NewUserModel([]UserPop{{Src: src, Dst: scenario.BigContent, Size: 2}}, 4)).
+		AddBaseline(NewBaseline(src, scenario.BigContent, 2)).
+		AddWatch(NewBGPWatch(src, dst)).
+		AddPool(pool, src, 3)
+
+	// A route change mid-campaign for the watch to catch.
+	e.Schedule(engine.EvJoinIXP(10, s.IXPName, 328745, 0))
+
+	if err := c.RunUntil(30); err != nil {
+		t.Fatal(err)
+	}
+	counts := c.IntentCounts()
+	if counts[probe.IntentBaseline] != 15 {
+		t.Fatalf("baseline count = %d want 15", counts[probe.IntentBaseline])
+	}
+	if counts[probe.IntentExperiment] != 10 {
+		t.Fatalf("pool count = %d want 10", counts[probe.IntentExperiment])
+	}
+	if counts[probe.IntentTriggered] == 0 {
+		t.Fatal("watch never fired despite the IXP join")
+	}
+	if counts[probe.IntentUserInitiated] == 0 {
+		t.Fatal("no user tests")
+	}
+	if len(c.Observations) != 30 {
+		t.Fatalf("observations = %d want 30 (one per step per pop)", len(c.Observations))
+	}
+	if c.Store.Len() == 0 {
+		t.Fatal("store empty")
+	}
+}
+
+func TestCampaignErrorPropagates(t *testing.T) {
+	s, _, p := world(t)
+	src, _ := s.Topo.FindPoP(328745, "Johannesburg")
+	c := NewCampaign(p, NewStore())
+	// User pop pointing at an unreachable AS errors at the first step.
+	c.AddUsers(NewUserModel([]UserPop{{Src: src, Dst: topo.ASN(99999), Size: 1}}, 5))
+	if err := c.Step(); err == nil {
+		t.Fatal("collector error swallowed")
+	}
+}
+
+func TestFamilyKnobSplitsPlanes(t *testing.T) {
+	s, e, p := world(t)
+	k := NewKnobs(p, 9)
+	src, _ := s.Topo.FindPoP(3741, "Johannesburg")
+
+	// Pin v6 to Transit-B while v4 keeps its default (Transit-A wins the
+	// tiebreak). The two families must then use different AS paths to the
+	// content network.
+	release, err := k.ForceUpstreamFamily(engine.V6, 3741, scenario.ZATransitB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4, err := p.SpeedTestFamily(src, scenario.BigContent, engine.V4, probe.IntentExperiment, "knob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m6, err := p.SpeedTestFamily(src, scenario.BigContent, engine.V6, probe.IntentExperiment, "knob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m4.Family != 4 || m6.Family != 6 {
+		t.Fatalf("family tags: %d / %d", m4.Family, m6.Family)
+	}
+	has := func(path []topo.ASN, asn topo.ASN) bool {
+		for _, a := range path {
+			if a == asn {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(m4.ASPath, scenario.ZATransitA) {
+		t.Fatalf("v4 path = %v, want via Transit-A", m4.ASPath)
+	}
+	if !has(m6.ASPath, scenario.ZATransitB) {
+		t.Fatalf("v6 path = %v, want via Transit-B", m6.ASPath)
+	}
+
+	// Release: both families converge to the same path again.
+	release()
+	m6b, err := p.SpeedTestFamily(src, scenario.BigContent, engine.V6, probe.IntentExperiment, "knob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !has(m6b.ASPath, scenario.ZATransitA) {
+		t.Fatalf("v6 path after release = %v", m6b.ASPath)
+	}
+	// v4 plane was never touched by the family knob.
+	if _, ok := e.Policy.LocalPref[3741]; ok {
+		t.Fatal("family knob leaked into the v4 policy")
+	}
+}
+
+func TestFamilyPlaneSharesTopologyEvents(t *testing.T) {
+	s, e, p := world(t)
+	src, _ := s.Topo.FindPoP(328745, "Johannesburg")
+	e.Schedule(engine.EvJoinIXP(2, s.IXPName, 328745, 0))
+	if err := e.RunUntil(3); err != nil {
+		t.Fatal(err)
+	}
+	// Both planes should see the new IXP peering (topology is shared).
+	for _, fam := range []engine.Family{engine.V4, engine.V6} {
+		m, err := p.SpeedTestFamily(src, scenario.BigContent, fam, probe.IntentBaseline, "t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := len(m.ASPath) == 2 && m.ASPath[1] == scenario.BigContent
+		if !direct {
+			t.Fatalf("family %d did not pick up the IXP peering: %v", fam, m.ASPath)
+		}
+	}
+}
+
+func TestPerfFamilyRejectsUnknown(t *testing.T) {
+	s, e, _ := world(t)
+	src, _ := s.Topo.FindPoP(3741, "Johannesburg")
+	if _, err := e.PerfFamily(src, src, engine.Family(9)); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	if _, err := e.PolicyFamily(engine.Family(9)); err == nil {
+		t.Fatal("unknown family policy accepted")
+	}
+}

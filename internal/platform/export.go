@@ -1,0 +1,53 @@
+package platform
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sisyphus/internal/probe"
+)
+
+// WriteJSONL serializes measurements as one JSON object per line — the
+// interchange format real platforms (M-Lab, Atlas) publish, so downstream
+// tooling can consume simulated campaigns exactly like real ones.
+func WriteJSONL(w io.Writer, ms []*probe.Measurement) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, m := range ms {
+		if err := enc.Encode(m); err != nil {
+			return fmt.Errorf("platform: encoding measurement %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses measurements written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]*probe.Measurement, error) {
+	var out []*probe.Measurement
+	dec := json.NewDecoder(r)
+	for {
+		var m probe.Measurement
+		if err := dec.Decode(&m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("platform: decoding measurement %d: %w", len(out), err)
+		}
+		out = append(out, &m)
+	}
+	return out, nil
+}
+
+// SaveJSONL writes the whole store.
+func (s *Store) SaveJSONL(w io.Writer) error { return WriteJSONL(w, s.ms) }
+
+// LoadJSONL appends measurements from the reader into the store.
+func (s *Store) LoadJSONL(r io.Reader) error {
+	ms, err := ReadJSONL(r)
+	if err != nil {
+		return err
+	}
+	s.Add(ms...)
+	return nil
+}

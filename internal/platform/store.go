@@ -1,0 +1,173 @@
+// Package platform simulates the measurement infrastructure the paper's §4
+// wants to exist: vantage points with scheduled baselines, M-Lab-style
+// metro server pools behind a randomizing load balancer, user-initiated
+// tests whose propensity depends on network state (the endogeneity of §4's
+// point 4), conditional measurement activation on BGP changes (point 1),
+// intent tagging (point 2), and exogenous-variation knobs (point 3).
+package platform
+
+import (
+	"fmt"
+	"sort"
+
+	"sisyphus/internal/causal/data"
+	"sisyphus/internal/mathx"
+	"sisyphus/internal/netsim/topo"
+	"sisyphus/internal/probe"
+)
+
+// Store accumulates measurements from all collectors.
+type Store struct {
+	ms []*probe.Measurement
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{} }
+
+// Add appends measurements.
+func (s *Store) Add(ms ...*probe.Measurement) { s.ms = append(s.ms, ms...) }
+
+// Len returns the number of stored measurements.
+func (s *Store) Len() int { return len(s.ms) }
+
+// All returns all measurements (shared backing slice; do not mutate).
+func (s *Store) All() []*probe.Measurement { return s.ms }
+
+// Filter returns measurements satisfying the predicate.
+func (s *Store) Filter(keep func(*probe.Measurement) bool) []*probe.Measurement {
+	var out []*probe.Measurement
+	for _, m := range s.ms {
+		if keep(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// ByIntent returns measurements with the given intent tag.
+func (s *Store) ByIntent(in probe.Intent) []*probe.Measurement {
+	return s.Filter(func(m *probe.Measurement) bool { return m.Intent == in })
+}
+
+// Unit identifies an ⟨ASN, city⟩ aggregation unit — the granularity of the
+// paper's Table 1 ("users within the same ASN and city are likely to share
+// routing policies, last-mile conditions, and local peering options").
+type Unit struct {
+	ASN  topo.ASN
+	City string
+}
+
+func (u Unit) String() string { return fmt.Sprintf("AS%d/%s", u.ASN, u.City) }
+
+// UnitOf returns the source unit of a measurement.
+func UnitOf(m *probe.Measurement) Unit { return Unit{ASN: m.SrcASN, City: m.SrcCity} }
+
+// Units lists the distinct source units present in the store, sorted.
+func (s *Store) Units() []Unit {
+	seen := make(map[Unit]bool)
+	for _, m := range s.ms {
+		seen[UnitOf(m)] = true
+	}
+	out := make([]Unit, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ASN != out[j].ASN {
+			return out[i].ASN < out[j].ASN
+		}
+		return out[i].City < out[j].City
+	})
+	return out
+}
+
+// Frame flattens measurements into a columnar dataset with the numeric
+// columns estimators need: hour, src_asn, dst_asn, rtt_ms, tput_mbps,
+// loss, family, plus ground-truth columns true_rtt_ms and true_max_util
+// (for validation only).
+func Frame(ms []*probe.Measurement) *data.Frame {
+	n := len(ms)
+	cols := map[string][]float64{
+		"hour": make([]float64, n), "src_asn": make([]float64, n),
+		"dst_asn": make([]float64, n), "rtt_ms": make([]float64, n),
+		"tput_mbps": make([]float64, n), "loss": make([]float64, n),
+		"family": make([]float64, n), "true_rtt_ms": make([]float64, n),
+		"true_max_util": make([]float64, n),
+	}
+	for i, m := range ms {
+		cols["hour"][i] = m.Hour
+		cols["src_asn"][i] = float64(m.SrcASN)
+		cols["dst_asn"][i] = float64(m.DstASN)
+		cols["rtt_ms"][i] = m.RTTms
+		cols["tput_mbps"][i] = m.ThroughputMbps
+		cols["loss"][i] = m.LossRate
+		cols["family"][i] = float64(m.Family)
+		cols["true_rtt_ms"][i] = m.TrueRTTms
+		cols["true_max_util"][i] = m.TrueMaxUtil
+	}
+	f, err := data.FromColumns(cols)
+	if err != nil {
+		panic(err) // impossible: all columns same length by construction
+	}
+	return f
+}
+
+// MedianRTTSeries bins one unit's measurements into fixed windows of
+// binHours covering [startHour, endHour) and returns the per-bin median RTT.
+// Empty bins are filled by linear interpolation between neighbours (carrying
+// the edge values outward) and reported in the second return value, so
+// synthetic-control panels stay rectangular even under bursty user-initiated
+// sampling.
+func MedianRTTSeries(ms []*probe.Measurement, u Unit, startHour, endHour, binHours float64) (series []float64, emptyBins []int) {
+	nBins := int((endHour - startHour) / binHours)
+	buckets := make([][]float64, nBins)
+	for _, m := range ms {
+		if UnitOf(m) != u || m.Hour < startHour || m.Hour >= endHour {
+			continue
+		}
+		b := int((m.Hour - startHour) / binHours)
+		if b >= 0 && b < nBins {
+			buckets[b] = append(buckets[b], m.RTTms)
+		}
+	}
+	series = make([]float64, nBins)
+	present := make([]bool, nBins)
+	for i, b := range buckets {
+		if len(b) > 0 {
+			series[i] = mathx.Median(b)
+			present[i] = true
+		} else {
+			emptyBins = append(emptyBins, i)
+		}
+	}
+	interpolate(series, present)
+	return series, emptyBins
+}
+
+// interpolate fills gaps in place given a presence mask.
+func interpolate(xs []float64, present []bool) {
+	n := len(xs)
+	prev := -1
+	for i := 0; i < n; i++ {
+		if !present[i] {
+			continue
+		}
+		if prev == -1 {
+			for j := 0; j < i; j++ {
+				xs[j] = xs[i] // carry first value backward
+			}
+		} else if prev < i-1 {
+			for j := prev + 1; j < i; j++ {
+				frac := float64(j-prev) / float64(i-prev)
+				xs[j] = xs[prev]*(1-frac) + xs[i]*frac
+			}
+		}
+		prev = i
+	}
+	if prev == -1 {
+		return // nothing present; leave zeros
+	}
+	for j := prev + 1; j < n; j++ {
+		xs[j] = xs[prev] // carry last value forward
+	}
+}

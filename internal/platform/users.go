@@ -1,0 +1,117 @@
+package platform
+
+import (
+	"fmt"
+
+	"sisyphus/internal/mathx"
+	"sisyphus/internal/netsim/topo"
+	"sisyphus/internal/probe"
+)
+
+// UserPop is a population of users behind one access PoP using one content
+// destination.
+type UserPop struct {
+	Src topo.PoPID
+	Dst topo.ASN
+	// Size scales the expected number of tests per step.
+	Size float64
+}
+
+// UserModel generates user-initiated speed tests whose propensity depends on
+// current conditions — the paper's speed-test collider made mechanical.
+// A test becomes more likely when (a) perceived performance is worse than
+// the user's habitual baseline and (b) the route recently changed (e.g. the
+// user just switched ISPs or their ISP re-routed). Because both a route
+// change and bad performance raise the probability of a test *independently*,
+// analyzing only the tests that ran induces a spurious association between
+// the two even when neither causes the other.
+type UserModel struct {
+	Pops []UserPop
+	rng  *mathx.RNG
+
+	// BaseRate is the expected tests per step per unit Size under normal
+	// conditions (default 0.2).
+	BaseRate float64
+	// PerfBoost multiplies the rate per 50% RTT degradation vs. the
+	// habitual EMA baseline (default 3).
+	PerfBoost float64
+	// ChangeBoost multiplies the rate on steps where the AS path differs
+	// from the previous step (default 3).
+	ChangeBoost float64
+
+	emaRTT   map[topo.PoPID]float64
+	lastPath map[topo.PoPID]string
+}
+
+// NewUserModel returns a user model with its own RNG stream.
+func NewUserModel(pops []UserPop, seed uint64) *UserModel {
+	return &UserModel{
+		Pops: pops, rng: mathx.NewRNG(seed),
+		BaseRate: 0.2, PerfBoost: 3, ChangeBoost: 3,
+		emaRTT:   make(map[topo.PoPID]float64),
+		lastPath: make(map[topo.PoPID]string),
+	}
+}
+
+// StepObservation is what the user model saw for one population this step —
+// exported so experiments can compute ground truth (e.g. "all traffic" vs
+// "tests that ran").
+type StepObservation struct {
+	Pop          UserPop
+	RTTms        float64 // true current RTT
+	RouteChanged bool
+	Degradation  float64 // fractional RTT excess over habitual baseline
+	TestsRun     int
+}
+
+// Step advances the model one engine step: it observes current conditions
+// for every population, updates habit baselines, decides how many tests run
+// (Poisson with state-dependent rate), executes them through the prober,
+// and returns both the observations and the measurements.
+func (u *UserModel) Step(p *probe.Prober) ([]StepObservation, []*probe.Measurement, error) {
+	var obs []StepObservation
+	var out []*probe.Measurement
+	for _, pop := range u.Pops {
+		perf, err := p.Engine.PerfToAS(pop.Src, pop.Dst)
+		if err != nil {
+			return nil, nil, fmt.Errorf("platform: user pop %v: %w", pop, err)
+		}
+		pathSig := fmt.Sprint(perf.Path.ASPath)
+		changed := false
+		if prev, ok := u.lastPath[pop.Src]; ok && prev != pathSig {
+			changed = true
+		}
+		u.lastPath[pop.Src] = pathSig
+
+		ema, ok := u.emaRTT[pop.Src]
+		if !ok {
+			ema = perf.RTTms
+		}
+		degradation := 0.0
+		if ema > 0 && perf.RTTms > ema {
+			degradation = (perf.RTTms - ema) / ema
+		}
+		// Habit updates slowly so sustained shifts eventually normalize.
+		u.emaRTT[pop.Src] = 0.95*ema + 0.05*perf.RTTms
+
+		// Rate scales with degradation (PerfBoost per 50% excess RTT) and
+		// jumps multiplicatively when the route just changed.
+		rate := u.BaseRate * pop.Size * (1 + u.PerfBoost*degradation*2)
+		if changed {
+			rate *= u.ChangeBoost
+		}
+		n := u.rng.Poisson(rate)
+		for i := 0; i < n; i++ {
+			m, err := p.SpeedTest(pop.Src, pop.Dst, probe.IntentUserInitiated, "user")
+			if err != nil {
+				return nil, nil, err
+			}
+			out = append(out, m)
+		}
+		obs = append(obs, StepObservation{
+			Pop: pop, RTTms: perf.RTTms, RouteChanged: changed,
+			Degradation: degradation, TestsRun: n,
+		})
+	}
+	return obs, out, nil
+}
