@@ -1,0 +1,31 @@
+# Sisyphus build/verify targets.
+#
+# `make verify` is the tier-1 gate: build, vet, and the full test suite
+# under the race detector. The concurrency layer (internal/parallel and its
+# call sites) is only considered healthy when -race passes clean; plain
+# `go test ./...` cannot see scheduling bugs. The generous -timeout exists
+# because the race detector runs the full E1 pipeline and the power curves
+# on whatever cores CI offers — on a single-core box the suite is CPU-bound.
+
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 30m ./...
+
+verify: build vet race
+
+# The benchmarks backing DESIGN.md's ablation tables and CHANGES.md's
+# before/after numbers.
+bench:
+	$(GO) test -bench=. -benchmem -timeout 60m .

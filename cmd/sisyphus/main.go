@@ -5,7 +5,7 @@
 //
 //	sisyphus -list
 //	sisyphus -experiment table1 [-seed 42]
-//	sisyphus -all
+//	sisyphus -all [-parallel] [-workers 8]
 package main
 
 import (
@@ -15,17 +15,23 @@ import (
 	"os"
 
 	"sisyphus/internal/experiments"
+	"sisyphus/internal/parallel"
 )
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments")
-		exp    = flag.String("experiment", "", "experiment id to run")
-		all    = flag.Bool("all", false, "run every experiment")
-		seed   = flag.Uint64("seed", 42, "random seed")
-		asJSON = flag.Bool("json", false, "emit results as JSON instead of tables")
+		list     = flag.Bool("list", false, "list available experiments")
+		exp      = flag.String("experiment", "", "experiment id to run")
+		all      = flag.Bool("all", false, "run every experiment")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		asJSON   = flag.Bool("json", false, "emit results as JSON instead of tables")
+		par      = flag.Bool("parallel", false, "with -all, run independent experiments concurrently (output is bit-identical to sequential)")
+		nworkers = flag.Int("workers", 0, "worker-pool width for parallel stages (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	if *nworkers > 0 {
+		parallel.SetWorkers(*nworkers)
+	}
 
 	emit := func(res experiments.Renderable) {
 		if *asJSON {
@@ -45,6 +51,17 @@ func main() {
 		fmt.Println("available experiments:")
 		for _, e := range experiments.All() {
 			fmt.Printf("  %-16s %s\n", e.ID, e.Paper)
+		}
+	case *all && *par:
+		// Concurrent suite: experiments fan out across the pool, results
+		// print in ID order once all are done — same bytes as sequential.
+		for _, oc := range experiments.RunAll(*seed) {
+			fmt.Printf("=== %s: %s ===\n\n", oc.Exp.ID, oc.Exp.Paper)
+			if oc.Err != nil {
+				fmt.Fprintf(os.Stderr, "sisyphus: %s: %v\n", oc.Exp.ID, oc.Err)
+				os.Exit(1)
+			}
+			emit(oc.Res)
 		}
 	case *all:
 		for _, e := range experiments.All() {

@@ -17,6 +17,7 @@ import (
 
 	"sisyphus/internal/causal/synthetic"
 	"sisyphus/internal/mathx"
+	"sisyphus/internal/parallel"
 )
 
 // SCDesign describes a planned synthetic-control study.
@@ -119,13 +120,23 @@ func (d SCDesign) Power(effect, alpha float64, trials int, seed uint64) (float64
 	if trials <= 0 {
 		trials = 100
 	}
+	// One pre-split RNG stream per trial, in trial order, then the trials
+	// shard across the worker pool. Pre-splitting consumes the parent
+	// stream exactly as the old sequential split-in-loop did, so power
+	// numbers are unchanged AND identical for any worker count.
 	r := mathx.NewRNG(seed)
+	rngs := make([]*mathx.RNG, trials)
+	for i := range rngs {
+		rngs[i] = r.Split()
+	}
+	pvals, err := parallel.Map(trials, func(i int) (float64, error) {
+		return dd.simulate(rngs[i], effect)
+	})
+	if err != nil {
+		return 0, err
+	}
 	detected := 0
-	for i := 0; i < trials; i++ {
-		p, err := dd.simulate(r.Split(), effect)
-		if err != nil {
-			return 0, err
-		}
+	for _, p := range pvals {
 		if p <= alpha {
 			detected++
 		}

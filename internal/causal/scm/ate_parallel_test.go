@@ -1,0 +1,44 @@
+package scm
+
+import (
+	"testing"
+
+	"sisyphus/internal/mathx"
+	"sisyphus/internal/parallel"
+)
+
+// TestATEWorkerInvariance: the sharded Monte-Carlo ATE must be bit-identical
+// for any pool width, because each draw consumes a pre-split stream and the
+// reduction runs in index order.
+func TestATEWorkerInvariance(t *testing.T) {
+	build := func() *Model {
+		m := New()
+		if err := m.DefineLinear("C", nil, 0, GaussianNoise(1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.DefineLinear("R", map[string]float64{"C": 2}, 0, GaussianNoise(0.5)); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.DefineLinear("L", map[string]float64{"R": 5, "C": -1}, 10, GaussianNoise(1)); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m := build()
+	var got []float64
+	for _, workers := range []int{1, 4, 16} {
+		restore := parallel.SetWorkers(workers)
+		ate, err := m.ATE(mathx.NewRNG(77), "R", 0, 1, "L", 4000)
+		restore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ate)
+	}
+	if got[0] != got[1] || got[1] != got[2] {
+		t.Fatalf("ATE varies with worker count: %v", got)
+	}
+	if got[0] < 4.5 || got[0] > 5.5 {
+		t.Fatalf("ATE = %v, want ≈ 5", got[0])
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"sisyphus/internal/causal/dag"
 	"sisyphus/internal/mathx"
+	"sisyphus/internal/parallel"
 )
 
 // Mechanism computes a node's value from its parents' values and its
@@ -93,10 +94,14 @@ func (m *Model) DefineLinear(node string, coeffs map[string]float64, intercept f
 	for k, v := range coeffs {
 		cp[k] = v
 	}
+	// Sum in sorted-parent order, never map order: float addition is not
+	// associative, and ranging over the map reorders the sum per process
+	// (Go randomizes map iteration), leaking ULP-level nondeterminism into
+	// every linear SCM draw and breaking cross-run replay.
 	base := func(pa map[string]float64) float64 {
 		s := intercept
-		for p, c := range cp {
-			s += c * pa[p]
+		for _, p := range parents {
+			s += cp[p] * pa[p]
 		}
 		return s
 	}
@@ -190,19 +195,41 @@ func (m *Model) SampleN(r *mathx.RNG, n int) (map[string][]float64, error) {
 
 // ATE estimates the average treatment effect E[y | do(x=hi)] − E[y | do(x=lo)]
 // by Monte Carlo with n draws per arm.
+//
+// Draws shard across the worker pool. Each draw i consumes its own RNG
+// stream, pre-split from r in index order before dispatch (the DESIGN.md
+// determinism rule), and the per-draw contributions are summed in index
+// order afterwards — so the estimate is bit-identical for any worker count,
+// including the sequential Workers()==1 path.
 func (m *Model) ATE(r *mathx.RNG, x string, lo, hi float64, y string, n int) (float64, error) {
+	if err := m.validate(); err != nil {
+		return 0, err
+	}
+	rngs := make([]*mathx.RNG, n)
+	for i := range rngs {
+		rngs[i] = r.Split()
+	}
+	doHi := map[string]float64{x: hi}
+	doLo := map[string]float64{x: lo}
+	type arms struct{ hi, lo float64 }
+	draws, err := parallel.Map(n, func(i int) (arms, error) {
+		a, err := m.sample(rngs[i], doHi)
+		if err != nil {
+			return arms{}, err
+		}
+		b, err := m.sample(rngs[i], doLo)
+		if err != nil {
+			return arms{}, err
+		}
+		return arms{hi: a.Values[y], lo: b.Values[y]}, nil
+	})
+	if err != nil {
+		return 0, err
+	}
 	var sumHi, sumLo float64
-	for i := 0; i < n; i++ {
-		a, err := m.SampleDo(r, map[string]float64{x: hi})
-		if err != nil {
-			return 0, err
-		}
-		sumHi += a.Values[y]
-		b, err := m.SampleDo(r, map[string]float64{x: lo})
-		if err != nil {
-			return 0, err
-		}
-		sumLo += b.Values[y]
+	for _, d := range draws {
+		sumHi += d.hi
+		sumLo += d.lo
 	}
 	return (sumHi - sumLo) / float64(n), nil
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"sisyphus/internal/mathx"
+	"sisyphus/internal/parallel"
 )
 
 // PlaceboResult carries the inference produced by in-space placebo tests,
@@ -20,8 +21,18 @@ type PlaceboResult struct {
 	// the treated unit itself) whose RMSE ratio is at least the treated
 	// unit's. Small values mean the treated unit's post-period divergence
 	// would be unusual under "no effect anywhere".
+	//
+	// Skipped placebo units are counted conservatively: each one enters the
+	// denominator AND the "at least as extreme" numerator, as if its ratio
+	// had exceeded the treated unit's. Donors whose fit degenerates (zero
+	// pre-period variance, NaN ratios) are precisely the ones whose placebo
+	// ratio could have been arbitrarily large, so dropping them — as this
+	// code once did — silently deflated Table 1's p column whenever the
+	// donor pool contained degenerate units. Under-claiming significance is
+	// the safe direction for the paper's "not significant" argument.
 	PValue float64
 	// Skipped lists placebo units whose fit failed (e.g. zero pre variance).
+	// They are included conservatively in PValue; see there.
 	Skipped []string
 }
 
@@ -59,28 +70,35 @@ func PlaceboTest(p *Panel, treated string, t0 int, cfg Config) (*PlaceboResult, 
 		return nil, err
 	}
 
+	// Each placebo fit is an independent pure function of its donor index,
+	// so the pool parallelizes them; results come back in donor order, so
+	// the assembled Ratios/Skipped sets are identical to a sequential loop.
+	type placeboFit struct {
+		ratio   float64
+		skipped bool
+	}
+	fits, _ := parallel.Map(len(donorUnits), func(i int) (placeboFit, error) {
+		res, err := Fit(subPanel, donorUnits[i], t0, cfg)
+		if err != nil || math.IsNaN(res.RMSERatio) {
+			return placeboFit{skipped: true}, nil
+		}
+		return placeboFit{ratio: res.RMSERatio}, nil
+	})
+
 	ratios := make(map[string]float64, len(donorUnits))
 	var skipped []string
-	for _, u := range donorUnits {
-		res, err := Fit(subPanel, u, t0, cfg)
-		if err != nil || math.IsNaN(res.RMSERatio) {
-			skipped = append(skipped, u)
+	for i, f := range fits {
+		if f.skipped {
+			skipped = append(skipped, donorUnits[i])
 			continue
 		}
-		ratios[u] = res.RMSERatio
+		ratios[donorUnits[i]] = f.ratio
 	}
 	if len(ratios) == 0 {
 		return nil, fmt.Errorf("synthetic: all %d placebo fits failed", len(donorUnits))
 	}
 
-	// Rank-based p-value including the treated unit itself.
-	countGE := 1 // the treated unit always counts
-	for _, r := range ratios {
-		if r >= real.RMSERatio {
-			countGE++
-		}
-	}
-	pval := float64(countGE) / float64(len(ratios)+1)
+	pval := placeboPValue(real.RMSERatio, ratios, len(skipped))
 	sort.Strings(skipped)
 	return &PlaceboResult{
 		Treated: real,
@@ -88,6 +106,21 @@ func PlaceboTest(p *Panel, treated string, t0 int, cfg Config) (*PlaceboResult, 
 		PValue:  pval,
 		Skipped: skipped,
 	}, nil
+}
+
+// placeboPValue computes the rank-based p-value including the treated unit
+// itself. Skipped placebo units stay in the denominator and count as "at
+// least as extreme" (see the PValue doc):
+//
+//	p = (1 + #{ratio >= treated} + #skipped) / (#placebos + #skipped + 1).
+func placeboPValue(treatedRatio float64, ratios map[string]float64, nSkipped int) float64 {
+	countGE := 1 // the treated unit always counts
+	for _, r := range ratios {
+		if r >= treatedRatio {
+			countGE++
+		}
+	}
+	return float64(countGE+nSkipped) / float64(len(ratios)+nSkipped+1)
 }
 
 // PrePostTTest is the naive alternative to placebo inference that the

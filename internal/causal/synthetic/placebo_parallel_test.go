@@ -1,0 +1,78 @@
+package synthetic
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"sisyphus/internal/parallel"
+)
+
+// TestPlaceboParallelBitIdentity is the equivalence test the concurrency
+// layer is held to: the full PlaceboResult — ratios, p-value, skipped set —
+// must be bit-identical whether the donor fits run on one worker or many.
+func TestPlaceboParallelBitIdentity(t *testing.T) {
+	for _, method := range []Method{Classic, Robust} {
+		for seed := uint64(0); seed < 3; seed++ {
+			p := factorPanel(200+seed, 12, 60, 45, -5, 1.0)
+
+			restore := parallel.SetWorkers(1)
+			seq, seqErr := PlaceboTest(p, "a", 45, Config{Method: method})
+			restore()
+
+			restore = parallel.SetWorkers(8)
+			par, parErr := PlaceboTest(p, "a", 45, Config{Method: method})
+			restore()
+
+			if (seqErr == nil) != (parErr == nil) {
+				t.Fatalf("method %v seed %d: error mismatch: %v vs %v", method, seed, seqErr, parErr)
+			}
+			if seqErr != nil {
+				continue
+			}
+			if seq.PValue != par.PValue {
+				t.Fatalf("method %v seed %d: p-value %v (seq) != %v (par)", method, seed, seq.PValue, par.PValue)
+			}
+			if !reflect.DeepEqual(seq.Ratios, par.Ratios) {
+				t.Fatalf("method %v seed %d: placebo ratios differ between 1 and 8 workers", method, seed)
+			}
+			if !reflect.DeepEqual(seq.Skipped, par.Skipped) {
+				t.Fatalf("method %v seed %d: skipped sets differ: %v vs %v", method, seed, seq.Skipped, par.Skipped)
+			}
+			if !reflect.DeepEqual(seq.Treated, par.Treated) {
+				t.Fatalf("method %v seed %d: treated fit differs", method, seed)
+			}
+		}
+	}
+}
+
+// TestPlaceboPValueConservativeSkips pins the bugfix for silently dropped
+// placebo fits: a skipped unit must raise the p-value (count as extreme),
+// never shrink the denominator.
+func TestPlaceboPValueConservativeSkips(t *testing.T) {
+	ratios := map[string]float64{"b": 3.0, "c": 0.5, "d": 0.9}
+	treated := 2.0
+
+	// No skips: treated + b are >= treated among 4 units -> 2/4.
+	if got := placeboPValue(treated, ratios, 0); got != 0.5 {
+		t.Fatalf("no-skip p = %v want 0.5", got)
+	}
+	// Two skipped donors join both numerator and denominator: 4/6.
+	if got := placeboPValue(treated, ratios, 2); math.Abs(got-4.0/6.0) > 1e-15 {
+		t.Fatalf("skip-2 p = %v want 4/6", got)
+	}
+	// The old behaviour would have produced 2/4 regardless of skips;
+	// conservativeness means p can only grow with skips.
+	prev := placeboPValue(treated, ratios, 0)
+	for k := 1; k <= 5; k++ {
+		cur := placeboPValue(treated, ratios, k)
+		if cur <= prev {
+			t.Fatalf("p-value not monotone in skips: p(%d)=%v <= p(%d)=%v", k, cur, k-1, prev)
+		}
+		prev = cur
+	}
+	// Bounds survive even when everything is skipped but one fit.
+	if got := placeboPValue(treated, map[string]float64{"b": 0.1}, 20); got <= 0 || got > 1 {
+		t.Fatalf("p out of bounds: %v", got)
+	}
+}

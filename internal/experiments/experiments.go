@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"sisyphus/internal/parallel"
 )
 
 // Experiment is a runnable reproduction unit.
@@ -61,6 +63,29 @@ func All() []Experiment {
 	for _, id := range IDs() {
 		out = append(out, registry[id])
 	}
+	return out
+}
+
+// RunOutcome is one experiment's result from a suite run.
+type RunOutcome struct {
+	Exp Experiment
+	Res Renderable
+	Err error
+}
+
+// RunAll runs every registered experiment with the same seed and returns
+// outcomes in ID order. The experiments are independent — each builds its
+// own simulator world from the seed — so they fan out across the worker
+// pool; every experiment derives its randomness from the seed alone, never
+// from shared state, so each outcome is bit-identical to a sequential run.
+// Unlike a sequential stop-at-first-failure loop, all experiments run even
+// if one fails; callers decide how to report per-experiment errors.
+func RunAll(seed uint64) []RunOutcome {
+	exps := All()
+	out, _ := parallel.Map(len(exps), func(i int) (RunOutcome, error) {
+		res, err := exps[i].Run(seed)
+		return RunOutcome{Exp: exps[i], Res: res, Err: err}, nil
+	})
 	return out
 }
 

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"sisyphus/internal/causal/synthetic"
+	"sisyphus/internal/parallel"
+)
+
+// TestTable1ParallelBitIdentity is the PR's headline equivalence check: a
+// full E1 run — simulation, IXP detection, per-unit synthetic control with
+// concurrent placebo fits, concurrent BGP propagation underneath — must
+// render byte-identical tables whether the pool has 1 worker or 8.
+func TestTable1ParallelBitIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full E1 run")
+	}
+	cfg := experimentsTable1Config()
+
+	restore := parallel.SetWorkers(1)
+	seq, seqErr := RunTable1(cfg)
+	restore()
+
+	restore = parallel.SetWorkers(8)
+	par, parErr := RunTable1(cfg)
+	restore()
+
+	if seqErr != nil || parErr != nil {
+		t.Fatalf("run errors: %v / %v", seqErr, parErr)
+	}
+	if seqR, parR := seq.Render(), par.Render(); seqR != parR {
+		t.Fatalf("rendered Table 1 differs between 1 and 8 workers:\n--- sequential ---\n%s\n--- parallel ---\n%s", seqR, parR)
+	}
+	if !reflect.DeepEqual(seq.Rows, par.Rows) {
+		t.Fatal("Table 1 rows differ between 1 and 8 workers")
+	}
+}
+
+func experimentsTable1Config() Table1Config {
+	return Table1Config{
+		Weeks: 2, JoinWeek: 1, Seed: 11, Method: synthetic.Robust,
+	}
+}
+
+// TestRunAllMatchesSequential: the concurrent suite runner must produce the
+// same renderings, in the same ID order, as running each experiment in a
+// plain loop. Restricted to the cheap experiments to keep CI time sane —
+// the experiments are independent by construction, so coverage of the
+// orchestration is what matters here, not every workload.
+func TestRunAllMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several experiments twice")
+	}
+	cheap := map[string]bool{"collider": true, "confounding": true, "cellular": true, "mlab": true}
+	const seed = 5
+
+	restore := parallel.SetWorkers(8)
+	outcomes := RunAll(seed)
+	restore()
+
+	if len(outcomes) != len(All()) {
+		t.Fatalf("RunAll returned %d outcomes for %d experiments", len(outcomes), len(All()))
+	}
+	for i, e := range All() {
+		oc := outcomes[i]
+		if oc.Exp.ID != e.ID {
+			t.Fatalf("outcome %d is %q, want ID order (%q)", i, oc.Exp.ID, e.ID)
+		}
+		if oc.Err != nil {
+			t.Fatalf("%s failed under the pool: %v", oc.Exp.ID, oc.Err)
+		}
+		if !cheap[e.ID] {
+			continue
+		}
+		res, err := e.Run(seed)
+		if err != nil {
+			t.Fatalf("%s failed sequentially: %v", e.ID, err)
+		}
+		if res.Render() != oc.Res.Render() {
+			t.Fatalf("%s renders differently under the pool", e.ID)
+		}
+	}
+}

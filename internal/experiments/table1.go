@@ -69,6 +69,11 @@ type Table1Row struct {
 	TrueDelta float64
 	// Crossed reports whether the IXP was ever detected on the unit's path.
 	Crossed bool
+	// SkippedPlacebos lists donor units whose placebo fit failed for this
+	// unit's test; each one was counted conservatively (as extreme) in
+	// PValue, so a nonzero count here flags a p-value that is an upper
+	// bound rather than an exact placebo rank.
+	SkippedPlacebos []string
 	// Detail holds the full fitted synthetic control for the unit (donor
 	// weights, trajectories) for verbose rendering; nil if never crossed.
 	Detail *synthetic.Result `json:"-"`
@@ -85,7 +90,7 @@ type Table1Result struct {
 
 // Render prints the table in the paper's format.
 func (r *Table1Result) Render() string {
-	t := &table{header: []string{"ASN / City", "RTT Δ (ms)", "RMSE Ratio", "p", "true Δ (ms)"}}
+	t := &table{header: []string{"ASN / City", "RTT Δ (ms)", "RMSE Ratio", "p", "skipped", "true Δ (ms)"}}
 	for _, row := range r.Rows {
 		trueCol := "-"
 		if r.Config.WithTruth {
@@ -96,6 +101,7 @@ func (r *Table1Result) Render() string {
 			fmt.Sprintf("%+.2f", row.RTTDelta),
 			fmt.Sprintf("%.2f", row.RMSERatio),
 			fmt.Sprintf("%.3f", row.PValue),
+			fmt.Sprintf("%d", len(row.SkippedPlacebos)),
 			trueCol,
 		)
 	}
@@ -245,6 +251,7 @@ func RunTable1(cfg Table1Config) (*Table1Result, error) {
 		row.RMSERatio = pl.Treated.RMSERatio
 		row.PValue = pl.PValue
 		row.PreRMSE = pl.Treated.PreRMSE
+		row.SkippedPlacebos = pl.Skipped
 		row.Detail = pl.Treated
 
 		if cfg.WithTruth {

@@ -18,9 +18,23 @@ type Matcher struct {
 	prefixes []string
 }
 
-// NewMatcher builds a matcher from announced prefix strings.
+// NewMatcher builds a matcher from announced prefix strings. Prefixes are
+// normalized to end at an octet boundary (a trailing "."): a prefix
+// registered as "196.60.8" must match "196.60.8.1" but not "196.60.80.1" —
+// with a bare string-prefix test the latter would be a false IXP crossing
+// and misclassify the unit as treated.
 func NewMatcher(prefixes ...string) *Matcher {
-	return &Matcher{prefixes: append([]string(nil), prefixes...)}
+	m := &Matcher{prefixes: make([]string, 0, len(prefixes))}
+	for _, p := range prefixes {
+		if p == "" {
+			continue // an empty prefix would match every address
+		}
+		if !strings.HasSuffix(p, ".") {
+			p += "."
+		}
+		m.prefixes = append(m.prefixes, p)
+	}
+	return m
 }
 
 // FromTopology builds a matcher for one exchange from the topology's
@@ -34,9 +48,12 @@ func FromTopology(t *topo.Topology, ixpName string) (*Matcher, error) {
 }
 
 // MatchAddr reports whether one address is inside any announced prefix.
+// Prefixes end at an octet boundary (see NewMatcher), so the address must
+// continue the prefix exactly at a dot; an address equal to the prefix
+// minus its trailing dot (the subnet itself) also matches.
 func (m *Matcher) MatchAddr(addr string) bool {
 	for _, p := range m.prefixes {
-		if strings.HasPrefix(addr, p) {
+		if strings.HasPrefix(addr, p) || addr == p[:len(p)-1] {
 			return true
 		}
 	}

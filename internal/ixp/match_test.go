@@ -21,6 +21,38 @@ func TestMatcherAddr(t *testing.T) {
 	}
 }
 
+// TestMatcherOctetBoundary is the regression table for the prefix-boundary
+// bug: a prefix registered without its trailing dot ("196.60.8") used to
+// match any address merely *starting* with those characters ("196.60.80.1",
+// "196.60.81.200"), silently misclassifying non-IXP hops as IXP crossings.
+func TestMatcherOctetBoundary(t *testing.T) {
+	cases := []struct {
+		name     string
+		prefixes []string
+		addr     string
+		want     bool
+	}{
+		{"dotted prefix, member", []string{"196.60.8."}, "196.60.8.17", true},
+		{"dotted prefix, longer octet", []string{"196.60.8."}, "196.60.80.1", false},
+		{"bare prefix, member", []string{"196.60.8"}, "196.60.8.17", true},
+		{"bare prefix, longer octet", []string{"196.60.8"}, "196.60.80.1", false},
+		{"bare prefix, other longer octet", []string{"196.60.8"}, "196.60.81.200", false},
+		{"bare prefix, address equals prefix", []string{"196.60.8"}, "196.60.8", true},
+		{"dotted prefix, address equals subnet", []string{"196.60.8."}, "196.60.8", true},
+		{"shared leading digits", []string{"196.60.8"}, "196.60.9.1", false},
+		{"prefix is a digit-suffix of octet", []string{"196.60.8"}, "1196.60.8.1", false},
+		{"multiple prefixes, second matches", []string{"10.0.1", "196.60.8"}, "196.60.8.255", true},
+		{"empty prefix matches nothing", []string{""}, "196.60.8.1", false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := NewMatcher(c.prefixes...).MatchAddr(c.addr); got != c.want {
+				t.Errorf("NewMatcher(%v).MatchAddr(%q) = %v, want %v", c.prefixes, c.addr, got, c.want)
+			}
+		})
+	}
+}
+
 func TestFromTopologyAndCrosses(t *testing.T) {
 	s, err := scenario.BuildSouthAfrica()
 	if err != nil {

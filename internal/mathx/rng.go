@@ -1,6 +1,9 @@
 package mathx
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // RNG is a small, fast, deterministic random source (xoshiro256** core with
 // a SplitMix64 seeder). Every stochastic component in this repository takes
@@ -54,11 +57,28 @@ func (r *RNG) Float64() float64 {
 }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
+//
+// Uniformity matters here: donor sampling, permutation tests, and refuter
+// shuffles all route through Intn, and the old `Uint64() % n` carried a
+// modulo bias of up to n/2⁶⁴ toward small values for non-power-of-two n.
+// This uses Lemire's multiply–shift rejection method (Lemire 2019,
+// "Fast Random Integer Generation in an Interval"): exactly uniform, and
+// the rejection loop almost never runs for the small n used here.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("mathx: Intn with non-positive n")
 	}
-	return int(r.Uint64() % uint64(n))
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		// thresh = 2⁶⁴ mod n; draws with lo below it fall in the biased
+		// remainder region and are rejected.
+		thresh := -un % un
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
 }
 
 // Perm returns a random permutation of [0, n).

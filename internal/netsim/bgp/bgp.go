@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"sisyphus/internal/netsim/topo"
+	"sisyphus/internal/parallel"
 )
 
 // Local preference defaults by relationship to the next hop.
@@ -139,6 +140,11 @@ const maxSweeps = 200
 
 // Compute converges routing for every destination AS under the policy
 // (nil means default policy).
+//
+// Destinations are independent fixed-point problems over read-only inputs
+// (topology, relationships, policy), so they fan out across the worker
+// pool; per-destination tables come back in AS order and are assembled into
+// the RIB sequentially, making the result identical to the sequential loop.
 func Compute(t *topo.Topology, pol *Policy) (*RIB, error) {
 	if pol == nil {
 		pol = NewPolicy()
@@ -148,12 +154,15 @@ func Compute(t *topo.Topology, pol *Policy) (*RIB, error) {
 		return nil, err
 	}
 	rib := &RIB{Topo: t, Rel: rel, best: make(map[topo.ASN]map[topo.ASN]*Route), policy: pol}
-	for _, as := range t.ASes() {
-		best, err := computeDest(t, rel, pol, as.ASN)
-		if err != nil {
-			return nil, err
-		}
-		rib.best[as.ASN] = best
+	ases := t.ASes()
+	tables, err := parallel.Map(len(ases), func(i int) (map[topo.ASN]*Route, error) {
+		return computeDest(t, rel, pol, ases[i].ASN)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, best := range tables {
+		rib.best[ases[i].ASN] = best
 	}
 	return rib, nil
 }

@@ -1,7 +1,10 @@
 package bgp
 
 import (
+	"sort"
+
 	"sisyphus/internal/netsim/topo"
+	"sisyphus/internal/parallel"
 )
 
 // AffectedDestinations returns the destination ASes whose converged routing
@@ -78,16 +81,25 @@ func (r *RIB) RecomputeAfterLinkFailure(failed topo.LinkID) (*RIB, error) {
 	for _, d := range r.AffectedDestinations(failed) {
 		affected[d] = true
 	}
+	var recompute []topo.ASN
 	for dest, tbl := range r.best {
 		if !affected[dest] {
 			out.best[dest] = tbl // share: routes are immutable once computed
 			continue
 		}
-		fresh, err := computeDest(r.Topo, rel, pol, dest)
-		if err != nil {
-			return nil, err
-		}
-		out.best[dest] = fresh
+		recompute = append(recompute, dest)
+	}
+	// Affected destinations re-converge independently, exactly as in
+	// Compute; sorted so the dispatch order is deterministic.
+	sort.Slice(recompute, func(i, j int) bool { return recompute[i] < recompute[j] })
+	fresh, err := parallel.Map(len(recompute), func(i int) (map[topo.ASN]*Route, error) {
+		return computeDest(r.Topo, rel, pol, recompute[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, tbl := range fresh {
+		out.best[recompute[i]] = tbl
 	}
 	return out, nil
 }

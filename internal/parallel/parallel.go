@@ -1,0 +1,124 @@
+// Package parallel is the repository's worker-pool substrate. Every hot
+// loop that fans out over independent tasks — placebo donor fits, the
+// E1–E14 experiment suite, per-destination BGP propagation, Monte-Carlo
+// sampling shards — goes through ForEach or Map rather than spawning ad-hoc
+// goroutines, so concurrency policy (pool width, sequential fallback) lives
+// in one place.
+//
+// Determinism contract: callers must make each task a pure function of its
+// index. Anything stochastic pre-splits its RNG streams per index (via
+// mathx.RNG.Split, in index order, before dispatch) so that task i consumes
+// the same stream no matter which worker runs it or in what order. Under
+// that discipline Map's output — and therefore every experiment table — is
+// bit-identical between Workers()==1 and Workers()==N. DESIGN.md's
+// "Concurrency & determinism" section records the rule.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerOverride, when positive, pins the pool width; 0 means "use
+// GOMAXPROCS". Tests use SetWorkers to force either sequential execution or
+// a wide pool on a single-core machine.
+var workerOverride atomic.Int64
+
+// Workers reports the pool width used for subsequent ForEach/Map calls:
+// the SetWorkers override if one is set, else runtime.GOMAXPROCS(0).
+func Workers() int {
+	if n := workerOverride.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers overrides the pool width (n <= 0 restores the GOMAXPROCS
+// default) and returns a function restoring the previous setting — designed
+// for `defer parallel.SetWorkers(4)()` in tests and for CLI -workers flags.
+func SetWorkers(n int) (restore func()) {
+	prev := workerOverride.Load()
+	if n < 0 {
+		n = 0
+	}
+	workerOverride.Store(int64(n))
+	return func() { workerOverride.Store(prev) }
+}
+
+// ForEach runs fn(0), …, fn(n-1) across the worker pool and blocks until
+// every call returns. If any calls return a non-nil error, the error with
+// the lowest index is returned — the same error a sequential
+// stop-at-first-failure loop would have surfaced, regardless of worker
+// interleaving. All n calls run even after a failure (tasks are independent
+// by contract, and finishing keeps cancellation logic out of callers).
+// A panic in any task is re-raised in the caller.
+func ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// Sequential fast path: no goroutines, but the identical
+		// stop-never/lowest-error semantics as the concurrent branch.
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var panicked atomic.Value // first panic, re-raised in the caller
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicked.CompareAndSwap(nil, r)
+						}
+					}()
+					errs[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(r)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn for every index and returns the results in index order —
+// out[i] == fn(i) — independent of scheduling. On error it still returns
+// the full slice (failed slots hold the zero value) alongside the
+// lowest-index error, mirroring ForEach.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, func(i int) error {
+		v, err := fn(i)
+		out[i] = v
+		return err
+	})
+	return out, err
+}

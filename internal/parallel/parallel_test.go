@@ -1,0 +1,116 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		defer SetWorkers(workers)()
+		out, err := Map(100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachRunsEveryIndexExactlyOnce(t *testing.T) {
+	defer SetWorkers(8)()
+	const n = 250
+	var counts [n]atomic.Int64
+	if err := ForEach(n, func(i int) error {
+		counts[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestLowestIndexError checks the determinism contract: whichever worker
+// finishes first, the reported error is the one a sequential loop would
+// have hit first.
+func TestLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 7} {
+		defer SetWorkers(workers)()
+		err := ForEach(50, func(i int) error {
+			if i%10 == 3 { // fails at 3, 13, 23, …
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want the lowest-index failure", workers, err)
+		}
+	}
+}
+
+func TestMapReturnsPartialResultsOnError(t *testing.T) {
+	defer SetWorkers(4)()
+	sentinel := errors.New("boom")
+	out, err := Map(10, func(i int) (int, error) {
+		if i == 5 {
+			return 0, sentinel
+		}
+		return i + 1, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(out) != 10 || out[0] != 1 || out[9] != 10 || out[5] != 0 {
+		t.Fatalf("partial results wrong: %v", out)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	defer SetWorkers(4)()
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("worker panic was swallowed")
+		}
+	}()
+	_ = ForEach(20, func(i int) error {
+		if i == 7 {
+			panic("worker 7 exploded")
+		}
+		return nil
+	})
+	t.Fatal("unreachable: ForEach should have panicked")
+}
+
+func TestZeroAndNegativeN(t *testing.T) {
+	if err := ForEach(0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(-3, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Map(0, func(int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Map(0) = %v, %v", out, err)
+	}
+}
+
+func TestSetWorkersRestore(t *testing.T) {
+	base := Workers()
+	restore := SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d want 3", Workers())
+	}
+	restore()
+	if Workers() != base {
+		t.Fatalf("Workers() = %d want restored %d", Workers(), base)
+	}
+}
