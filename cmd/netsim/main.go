@@ -59,7 +59,9 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		store.Add(ms...)
+		if err := store.Add(ms...); err != nil {
+			fail(err)
+		}
 	}
 
 	if *summary {

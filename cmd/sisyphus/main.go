@@ -18,6 +18,20 @@ import (
 	"sisyphus/internal/parallel"
 )
 
+// validateFlags rejects flag combinations that would otherwise be silently
+// ignored: a negative worker count is never meaningful, and -workers sizes
+// the pool that only -parallel uses, so passing it alone is almost certainly
+// a mistake the user should hear about.
+func validateFlags(workersSet bool, workers int, parallelMode bool) error {
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (got %d)", workers)
+	}
+	if workersSet && !parallelMode {
+		return fmt.Errorf("-workers only applies with -parallel; add -parallel or drop -workers")
+	}
+	return nil
+}
+
 func main() {
 	var (
 		list     = flag.Bool("list", false, "list available experiments")
@@ -29,6 +43,16 @@ func main() {
 		nworkers = flag.Int("workers", 0, "worker-pool width for parallel stages (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	workersSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			workersSet = true
+		}
+	})
+	if err := validateFlags(workersSet, *nworkers, *par); err != nil {
+		fmt.Fprintln(os.Stderr, "sisyphus:", err)
+		os.Exit(2)
+	}
 	if *nworkers > 0 {
 		parallel.SetWorkers(*nworkers)
 	}

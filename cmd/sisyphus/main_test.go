@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name       string
+		workersSet bool
+		workers    int
+		parallel   bool
+		wantErr    bool
+	}{
+		{"defaults", false, 0, false, false},
+		{"parallel without workers", false, 0, true, false},
+		{"workers with parallel", true, 8, true, false},
+		{"workers zero with parallel", true, 0, true, false},
+		{"workers without parallel", true, 8, false, true},
+		{"negative workers", true, -1, true, true},
+		{"negative workers without parallel", true, -3, false, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateFlags(c.workersSet, c.workers, c.parallel)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("validateFlags(%v, %d, %v) error = %v, wantErr %v",
+					c.workersSet, c.workers, c.parallel, err, c.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,138 @@
+package synthetic
+
+import (
+	"fmt"
+
+	"sisyphus/internal/mathx"
+)
+
+// MaskedPanel is an outcome panel whose cells may be missing — the shape
+// real measurement data actually has once probes drop, vantages die, and
+// panels go gappy. Observed[i][t] reports whether Y(i, t) was backed by at
+// least one real measurement; unobserved cells hold whatever placeholder the
+// collector left (they are re-imputed by Apply before any estimator sees
+// them). Estimators never consume a MaskedPanel directly: Apply first
+// enforces the missing-cell policy and returns a rectangular Panel plus the
+// coverage report that must accompany any estimate computed from it.
+type MaskedPanel struct {
+	Units    []string
+	Times    []float64
+	Y        *mathx.Matrix
+	Observed [][]bool
+}
+
+// NewMaskedPanel validates dimensions and builds a masked panel.
+func NewMaskedPanel(units []string, times []float64, y *mathx.Matrix, observed [][]bool) (*MaskedPanel, error) {
+	if y.Rows != len(units) || y.Cols != len(times) {
+		return nil, fmt.Errorf("synthetic: Y is %dx%d but have %d units and %d times",
+			y.Rows, y.Cols, len(units), len(times))
+	}
+	if len(observed) != len(units) {
+		return nil, fmt.Errorf("synthetic: mask has %d rows for %d units", len(observed), len(units))
+	}
+	for i, row := range observed {
+		if len(row) != len(times) {
+			return nil, fmt.Errorf("synthetic: mask row %d has %d cells for %d times", i, len(row), len(times))
+		}
+	}
+	return &MaskedPanel{Units: units, Times: times, Y: y, Observed: observed}, nil
+}
+
+// MissingPolicy documents how missing cells are handled before estimation:
+// units whose observed fraction falls below MinCoverage are dropped from the
+// panel entirely (a donor that was dark half the study is not a credible
+// counterfactual), units listed in KeepUnits are exempt from dropping (the
+// treated unit must survive so the caller can report its estimate alongside
+// its coverage instead of silently omitting the row), and remaining gaps are
+// imputed by linear interpolation between the nearest observed neighbours
+// with edge values carried outward (mathx.InterpolateMissing — the same rule
+// platform binning uses, so both layers agree cell-for-cell).
+type MissingPolicy struct {
+	// MinCoverage is the minimum observed fraction a unit needs to stay in
+	// the panel (default 0.5; values are clamped to [0, 1]).
+	MinCoverage float64
+	// KeepUnits lists units never dropped regardless of coverage.
+	KeepUnits []string
+}
+
+func (p MissingPolicy) withDefaults() MissingPolicy {
+	if p.MinCoverage == 0 {
+		p.MinCoverage = 0.5
+	}
+	if p.MinCoverage < 0 {
+		p.MinCoverage = 0
+	}
+	if p.MinCoverage > 1 {
+		p.MinCoverage = 1
+	}
+	return p
+}
+
+// UnitCoverage reports how much data one unit's trajectory stood on.
+type UnitCoverage struct {
+	Unit     string
+	Observed int
+	Total    int
+	Dropped  bool
+}
+
+// Fraction returns Observed/Total (1 for an empty panel).
+func (c UnitCoverage) Fraction() float64 {
+	if c.Total == 0 {
+		return 1
+	}
+	return float64(c.Observed) / float64(c.Total)
+}
+
+// Apply enforces the policy: it drops under-covered units, imputes the
+// remaining gaps, and returns the rectangular Panel estimators consume plus
+// per-unit coverage for every input unit (dropped ones included, flagged).
+// A fully observed masked panel passes through numerically untouched, so
+// fault-rate-zero pipelines are bit-identical to ones that never built a
+// mask.
+func (mp *MaskedPanel) Apply(pol MissingPolicy) (*Panel, []UnitCoverage, error) {
+	pol = pol.withDefaults()
+	keep := make(map[string]bool, len(pol.KeepUnits))
+	for _, u := range pol.KeepUnits {
+		keep[u] = true
+	}
+
+	nT := len(mp.Times)
+	coverage := make([]UnitCoverage, len(mp.Units))
+	var kept []int
+	for i, u := range mp.Units {
+		obs := 0
+		for t := 0; t < nT; t++ {
+			if mp.Observed[i][t] {
+				obs++
+			}
+		}
+		cov := UnitCoverage{Unit: u, Observed: obs, Total: nT}
+		if !keep[u] && cov.Fraction() < pol.MinCoverage {
+			cov.Dropped = true
+		} else {
+			kept = append(kept, i)
+		}
+		coverage[i] = cov
+	}
+	if len(kept) < 2 {
+		return nil, coverage, fmt.Errorf("synthetic: only %d units survive the coverage policy (need 2)", len(kept))
+	}
+
+	units := make([]string, len(kept))
+	y := mathx.NewMatrix(len(kept), nT)
+	row := make([]float64, nT)
+	for k, i := range kept {
+		units[k] = mp.Units[i]
+		for t := 0; t < nT; t++ {
+			row[t] = mp.Y.At(i, t)
+		}
+		mathx.InterpolateMissing(row, mp.Observed[i])
+		y.SetRow(k, row)
+	}
+	panel, err := NewPanel(units, mp.Times, y)
+	if err != nil {
+		return nil, coverage, err
+	}
+	return panel, coverage, nil
+}

@@ -1,0 +1,185 @@
+package synthetic
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"sisyphus/internal/mathx"
+)
+
+func maskedFixture(t *testing.T, observed [][]bool) *MaskedPanel {
+	t.Helper()
+	units := []string{"treated", "donor-a", "donor-b"}
+	times := []float64{0, 1, 2, 3}
+	y := mathx.NewMatrix(3, 4)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			y.Set(i, j, float64(10*i+j))
+		}
+	}
+	mp, err := NewMaskedPanel(units, times, y, observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mp
+}
+
+func fullMask(rows, cols int) [][]bool {
+	m := make([][]bool, rows)
+	for i := range m {
+		m[i] = make([]bool, cols)
+		for j := range m[i] {
+			m[i][j] = true
+		}
+	}
+	return m
+}
+
+func TestNewMaskedPanelValidatesDimensions(t *testing.T) {
+	y := mathx.NewMatrix(2, 3)
+	cases := []struct {
+		name     string
+		units    []string
+		times    []float64
+		observed [][]bool
+	}{
+		{"unit count mismatch", []string{"a"}, []float64{0, 1, 2}, fullMask(1, 3)},
+		{"time count mismatch", []string{"a", "b"}, []float64{0, 1}, fullMask(2, 2)},
+		{"mask row count", []string{"a", "b"}, []float64{0, 1, 2}, fullMask(3, 3)},
+		{"mask row length", []string{"a", "b"}, []float64{0, 1, 2}, [][]bool{{true, true, true}, {true}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := NewMaskedPanel(c.units, c.times, y, c.observed); err == nil {
+				t.Fatal("invalid shape accepted")
+			}
+		})
+	}
+}
+
+// TestFullyObservedPassThrough: the masked path with no missing cells must
+// hand estimators exactly the panel they would have built directly — this is
+// the panel-layer half of the fault-rate-zero bit-identity invariant.
+func TestFullyObservedPassThrough(t *testing.T) {
+	mp := maskedFixture(t, fullMask(3, 4))
+	panel, cov, err := mp.Apply(MissingPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := NewPanel(mp.Units, mp.Times, mp.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(panel.Units, direct.Units) || !reflect.DeepEqual(panel.Times, direct.Times) {
+		t.Fatal("pass-through changed panel labels")
+	}
+	if !reflect.DeepEqual(panel.Y.Data, direct.Y.Data) {
+		t.Fatalf("pass-through changed values:\n masked: %v\n direct: %v", panel.Y.Data, direct.Y.Data)
+	}
+	for _, c := range cov {
+		if c.Dropped || c.Fraction() != 1 {
+			t.Fatalf("full coverage misreported: %+v", c)
+		}
+	}
+}
+
+func TestApplyDropsUnderCoveredDonors(t *testing.T) {
+	obs := fullMask(3, 4)
+	obs[2] = []bool{true, false, false, false} // donor-b: 25% coverage
+	mp := maskedFixture(t, obs)
+	panel, cov, err := mp.Apply(MissingPolicy{MinCoverage: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panel.Units) != 2 || panel.Units[0] != "treated" || panel.Units[1] != "donor-a" {
+		t.Fatalf("surviving units = %v", panel.Units)
+	}
+	// The coverage report still lists every input unit, flagged.
+	if len(cov) != 3 {
+		t.Fatalf("coverage rows = %d, want 3", len(cov))
+	}
+	if cov[2].Unit != "donor-b" || !cov[2].Dropped || cov[2].Observed != 1 {
+		t.Fatalf("dropped donor misreported: %+v", cov[2])
+	}
+	if cov[0].Dropped || cov[1].Dropped {
+		t.Fatal("healthy units flagged as dropped")
+	}
+}
+
+// TestKeepUnitsExemptsTreatedUnit: the treated unit survives any coverage,
+// so the caller reports estimate-plus-coverage instead of a missing row.
+func TestKeepUnitsExemptsTreatedUnit(t *testing.T) {
+	obs := fullMask(3, 4)
+	obs[0] = []bool{true, false, false, false} // treated: 25% coverage
+	mp := maskedFixture(t, obs)
+	panel, cov, err := mp.Apply(MissingPolicy{MinCoverage: 0.5, KeepUnits: []string{"treated"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panel.Units) != 3 {
+		t.Fatalf("KeepUnits did not protect the treated unit: %v", panel.Units)
+	}
+	if cov[0].Dropped {
+		t.Fatal("kept unit flagged as dropped")
+	}
+	if cov[0].Fraction() != 0.25 {
+		t.Fatalf("coverage fraction = %v, want 0.25", cov[0].Fraction())
+	}
+}
+
+func TestApplyImputesGaps(t *testing.T) {
+	obs := fullMask(3, 4)
+	obs[1] = []bool{true, false, false, true} // donor-a: interior gap
+	mp := maskedFixture(t, obs)
+	// Poison the unobserved cells: Apply must overwrite them, not trust them.
+	mp.Y.Set(1, 1, -999)
+	mp.Y.Set(1, 2, -999)
+	panel, _, err := mp.Apply(MissingPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, err := panel.UnitIndex("donor-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Endpoints 10 and 13 → linear fill 11, 12.
+	if got := panel.Y.At(i, 1); got != 11 {
+		t.Fatalf("imputed cell (1) = %v, want 11", got)
+	}
+	if got := panel.Y.At(i, 2); got != 12 {
+		t.Fatalf("imputed cell (2) = %v, want 12", got)
+	}
+}
+
+func TestApplyErrorsWhenPanelCollapses(t *testing.T) {
+	obs := [][]bool{
+		fullMask(1, 4)[0],
+		{false, false, false, false},
+		{false, false, false, false},
+	}
+	mp := maskedFixture(t, obs)
+	_, cov, err := mp.Apply(MissingPolicy{KeepUnits: []string{"treated"}})
+	if err == nil {
+		t.Fatal("collapsed donor pool accepted")
+	}
+	if !strings.Contains(err.Error(), "survive") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// Even on error the coverage report explains what happened.
+	if len(cov) != 3 || !cov[1].Dropped || !cov[2].Dropped {
+		t.Fatalf("coverage report incomplete on collapse: %+v", cov)
+	}
+}
+
+func TestMissingPolicyDefaultsAndClamping(t *testing.T) {
+	if got := (MissingPolicy{}).withDefaults().MinCoverage; got != 0.5 {
+		t.Fatalf("default MinCoverage = %v, want 0.5", got)
+	}
+	if got := (MissingPolicy{MinCoverage: -2}).withDefaults().MinCoverage; got != 0 {
+		t.Fatalf("negative MinCoverage clamps to %v, want 0", got)
+	}
+	if got := (MissingPolicy{MinCoverage: 7}).withDefaults().MinCoverage; got != 1 {
+		t.Fatalf("huge MinCoverage clamps to %v, want 1", got)
+	}
+}

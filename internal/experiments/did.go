@@ -51,7 +51,7 @@ func RunDiD(seed uint64) (*DiDResult, error) {
 			continue
 		}
 		scSum += row.RTTDelta
-		truthSum += row.TrueDelta
+		truthSum += float64(row.TrueDelta)
 		n++
 	}
 	if n == 0 {
@@ -90,7 +90,9 @@ func RunDiD(seed uint64) (*DiDResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		store.Add(ms...)
+		if err := store.Add(ms...); err != nil {
+			return nil, err
+		}
 	}
 
 	treatedSet := make(map[scenario.Unit]bool)

@@ -11,9 +11,9 @@ import (
 )
 
 func TestRegistryListsAllExperiments(t *testing.T) {
-	want := []string{"cellular", "collider", "confounding", "counterfactual",
-		"did", "exposure", "familyknob", "instrument", "intent", "mlab",
-		"power", "rootcause", "table1", "tromboneera"}
+	want := []string{"cellular", "chaos", "collider", "confounding",
+		"counterfactual", "did", "exposure", "familyknob", "instrument",
+		"intent", "mlab", "power", "rootcause", "table1", "tromboneera"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("ids = %v", got)
@@ -77,7 +77,7 @@ func TestTable1ShapeMatchesPaper(t *testing.T) {
 			t.Fatalf("rmse ratio = %v", row.RMSERatio)
 		}
 		// Estimates must track ground truth within a few ms.
-		if !math.IsNaN(row.TrueDelta) && math.Abs(row.RTTDelta-row.TrueDelta) < 3 {
+		if !row.TrueDelta.IsNaN() && math.Abs(row.RTTDelta-float64(row.TrueDelta)) < 3 {
 			tracked++
 		}
 	}

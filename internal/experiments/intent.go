@@ -118,16 +118,22 @@ func RunIntent(seed uint64, hours int) (*IntentResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		store.Add(ms...)
+		if err := store.Add(ms...); err != nil {
+			return nil, err
+		}
 		if m, err := baseline.Step(pr); err != nil {
 			return nil, err
 		} else if m != nil {
-			store.Add(m)
+			if err := store.Add(m); err != nil {
+				return nil, err
+			}
 		}
 		if m, err := watch.Step(pr); err != nil {
 			return nil, err
 		} else if m != nil {
-			store.Add(m)
+			if err := store.Add(m); err != nil {
+				return nil, err
+			}
 		}
 	}
 

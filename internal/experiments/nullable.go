@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"encoding/json"
+	"math"
+)
+
+// NullableFloat is a float64 whose JSON form is null when the value is NaN
+// or ±Inf. encoding/json refuses non-finite floats outright, which made
+// `sisyphus -all -json` exit 1 whenever a result legitimately carried "no
+// value" (e.g. the root-cause postmortem's median RTT while nothing is
+// reachable, or a Table 1 true-Δ with no counterfactual samples). Result
+// structs use this type for any field that can be non-finite; finite values
+// marshal exactly like plain float64, so JSON output is unchanged where it
+// previously worked.
+type NullableFloat float64
+
+// IsNaN reports whether the value is NaN.
+func (f NullableFloat) IsNaN() bool { return math.IsNaN(float64(f)) }
+
+// MarshalJSON encodes non-finite values as null.
+func (f NullableFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON decodes null back to NaN, round-tripping the marshaler.
+func (f *NullableFloat) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*f = NullableFloat(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = NullableFloat(v)
+	return nil
+}

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math"
 
 	"sisyphus/internal/mathx"
 	"sisyphus/internal/netsim/engine"
@@ -25,10 +24,12 @@ type RootCauseResult struct {
 	// during the incident window in the factual world.
 	SymptomUnreachable int
 	// MedianRTTBefore/During for reachable units (the noisy symptom).
-	MedianRTTBefore, MedianRTTDuring float64
+	// During is NaN — JSON null — when nothing was reachable at all.
+	MedianRTTBefore, MedianRTTDuring NullableFloat
 	// CorrCongestion is the correlation between per-hour unreachability
 	// count and access-side congestion — the misleading surface signal.
-	CorrCongestion float64
+	// NaN (zero variance in either series) marshals as JSON null.
+	CorrCongestion NullableFloat
 	// Candidate verdicts: unreachable counts when each candidate cause is
 	// counterfactually removed.
 	WithoutCongestion int
@@ -42,7 +43,7 @@ func (r *RootCauseResult) Render() string {
 	t.add("counterfactual: no congestion surge", fmt.Sprintf("%d", r.WithoutCongestion))
 	t.add("counterfactual: no link failure", fmt.Sprintf("%d", r.WithoutLinkCut))
 	during := fmt.Sprintf("%.1f ms", r.MedianRTTDuring)
-	if math.IsNaN(r.MedianRTTDuring) {
+	if r.MedianRTTDuring.IsNaN() {
 		during = "(nothing reachable)"
 	}
 	return fmt.Sprintf(`Root-cause postmortem (§1 motivation): symptoms vs causes
@@ -154,9 +155,9 @@ func RunRootCause(seed uint64) (*RootCauseResult, error) {
 	res := &RootCauseResult{
 		OutageHour:         outageHour,
 		SymptomUnreachable: int(mathx.Vector(factual.unreachPerHour).Max()),
-		MedianRTTBefore:    mathx.Median(factual.rttBefore),
-		MedianRTTDuring:    mathx.Median(factual.rttDuring),
-		CorrCongestion:     mathx.Correlation(factual.unreachPerHour, factual.congPerHour),
+		MedianRTTBefore:    NullableFloat(mathx.Median(factual.rttBefore)),
+		MedianRTTDuring:    NullableFloat(mathx.Median(factual.rttDuring)),
+		CorrCongestion:     NullableFloat(mathx.Correlation(factual.unreachPerHour, factual.congPerHour)),
 		WithoutCongestion:  int(mathx.Vector(noCong.unreachPerHour).Max()),
 		WithoutLinkCut:     int(mathx.Vector(noCut.unreachPerHour).Max()),
 	}

@@ -7,6 +7,7 @@ import (
 	"sisyphus/internal/netsim/topo"
 
 	"sisyphus/internal/causal/synthetic"
+	"sisyphus/internal/faults"
 	"sisyphus/internal/ixp"
 	"sisyphus/internal/mathx"
 	"sisyphus/internal/netsim/engine"
@@ -36,8 +37,23 @@ type Table1Config struct {
 	// Build overrides the world constructor (default
 	// scenario.BuildSouthAfrica); the trombone-era experiment passes
 	// scenario.BuildTromboneEra to run the identical pipeline on the
-	// historical topology.
-	Build func() (*scenario.SouthAfrica, error)
+	// historical topology. Functions have no JSON form; the field is
+	// omitted from serialized results.
+	Build func() (*scenario.SouthAfrica, error) `json:"-"`
+	// Faults, when non-nil, installs a fault injector with this
+	// configuration on the measurement path (probe drops, vantage outages,
+	// truncation, timestamp skew, duplicate/reordered delivery). A non-nil
+	// config with every rate zero produces output bit-identical to nil —
+	// the graceful-degradation baseline E15 certifies.
+	Faults *faults.Config
+	// Retry bounds per-probe retries when faults are injected (zero value:
+	// one attempt, no retry).
+	Retry probe.RetryPolicy
+	// MinCoverage is the panel missing-cell policy threshold: donors whose
+	// observed-bin fraction falls below it are dropped from the donor pool
+	// (0 uses the synthetic package default of 0.5). The treated unit is
+	// never dropped; its coverage is reported on its row instead.
+	MinCoverage float64
 }
 
 func (c Table1Config) withDefaults() Table1Config {
@@ -66,9 +82,21 @@ type Table1Row struct {
 	// TrueDelta is the simulator's ground-truth effect from counterfactual
 	// replay (only populated when WithTruth); the paper cannot have this
 	// column — it is the point of building the estimators on a simulator.
-	TrueDelta float64
+	// NaN (no post-treatment samples in one of the worlds) marshals as
+	// JSON null.
+	TrueDelta NullableFloat
 	// Crossed reports whether the IXP was ever detected on the unit's path.
 	Crossed bool
+	// Coverage is the fraction of panel bins backed by at least one real
+	// measurement for this unit (1.0 on a clean run); the estimate above
+	// stood on exactly this much data.
+	Coverage float64
+	// DroppedDonors lists donor units excluded by the missing-cell policy
+	// for this unit's panel (under-covered under fault injection).
+	DroppedDonors []string
+	// EstimateError records why no estimate could be produced under heavy
+	// degradation (e.g. the donor pool collapsed); numeric fields are zero.
+	EstimateError string `json:",omitempty"`
 	// SkippedPlacebos lists donor units whose placebo fit failed for this
 	// unit's test; each one was counted conservatively (as extreme) in
 	// PValue, so a nonzero count here flags a p-value that is an upper
@@ -86,6 +114,10 @@ type Table1Result struct {
 	JoinHour    float64
 	NumDonors   int
 	SampleCount int
+	// Coverage summarizes the ingestion stream: scheduled vs delivered vs
+	// failed/truncated/duplicated records across all intents. On a clean
+	// run Scheduled == Delivered.
+	Coverage platform.StreamCoverage
 }
 
 // Render prints the table in the paper's format.
@@ -131,6 +163,14 @@ func RunTable1(cfg Table1Config) (*Table1Result, error) {
 		}
 		e := engine.New(s.Topo, cfg.Seed, engine.Config{AdaptiveEgress: true})
 		pr := probe.NewProber(e, cfg.Seed+1)
+		// Each world gets its own injector so the factual and counterfactual
+		// runs see identical fault streams (same seed, same pre-split rule).
+		var inj *faults.Injector
+		if cfg.Faults != nil {
+			inj = faults.New(*cfg.Faults)
+			pr.Hook = inj
+			pr.Retry = cfg.Retry
+		}
 		if withJoin {
 			for _, asn := range s.TreatedASNs {
 				e.Schedule(engine.EvJoinIXP(joinHour, s.IXPName, asn, 0.02))
@@ -164,7 +204,17 @@ func RunTable1(cfg Table1Config) (*Table1Result, error) {
 			if err != nil {
 				return nil, nil, err
 			}
-			store.Add(ms...)
+			if inj != nil {
+				ms = inj.Deliver(ms...)
+			}
+			if err := store.Add(ms...); err != nil {
+				return nil, nil, err
+			}
+		}
+		if inj != nil {
+			if err := store.Add(inj.Flush()...); err != nil {
+				return nil, nil, err
+			}
 		}
 		return s, store, nil
 	}
@@ -186,17 +236,32 @@ func RunTable1(cfg Table1Config) (*Table1Result, error) {
 		byUnit[u] = append(byUnit[u], m)
 	}
 
-	// Donor pool: units whose paths never cross the exchange.
+	// Donor pool: units whose paths never cross the exchange. Alongside each
+	// trajectory keep its observation mask — which bins were backed by real
+	// measurements — so the panel's missing-cell policy can weigh donors by
+	// coverage instead of trusting interpolation blindly.
 	nBins := int(totalHours / cfg.BinHours)
+	observedMask := func(empty []int) []bool {
+		mask := make([]bool, nBins)
+		for i := range mask {
+			mask[i] = true
+		}
+		for _, b := range empty {
+			mask[b] = false
+		}
+		return mask
+	}
 	var donorNames []string
 	var donorSeries [][]float64
+	var donorMasks [][]bool
 	for _, u := range s.Donors {
 		if _, crossed := matcher.FirstCrossingHour(byUnit[u]); crossed {
 			continue // contaminated donor: exclude per Abadie's conditions
 		}
-		series, _ := platform.MedianRTTSeries(byUnit[u], platform.Unit{ASN: u.ASN, City: u.City}, 0, totalHours, cfg.BinHours)
+		series, empty := platform.MedianRTTSeries(byUnit[u], platform.Unit{ASN: u.ASN, City: u.City}, 0, totalHours, cfg.BinHours)
 		donorNames = append(donorNames, u.String())
 		donorSeries = append(donorSeries, series)
+		donorMasks = append(donorMasks, observedMask(empty))
 	}
 	if len(donorNames) < 3 {
 		return nil, fmt.Errorf("experiments: only %d clean donors", len(donorNames))
@@ -211,11 +276,13 @@ func RunTable1(cfg Table1Config) (*Table1Result, error) {
 		}
 	}
 
-	res := &Table1Result{Config: cfg, JoinHour: joinHour, NumDonors: len(donorNames), SampleCount: store.Len()}
+	res := &Table1Result{Config: cfg, JoinHour: joinHour, NumDonors: len(donorNames),
+		SampleCount: store.Len(), Coverage: store.TotalCoverage()}
 	times := make([]float64, nBins)
 	for i := range times {
 		times[i] = float64(i) * cfg.BinHours
 	}
+	faulty := cfg.Faults != nil && cfg.Faults.Enabled()
 	for _, u := range s.Treated {
 		row := Table1Row{Unit: u}
 		firstHour, crossed := matcher.FirstCrossingHour(byUnit[u])
@@ -231,28 +298,51 @@ func RunTable1(cfg Table1Config) (*Table1Result, error) {
 		if t0 > nBins-2 {
 			t0 = nBins - 2
 		}
-		treatedSeries, _ := platform.MedianRTTSeries(byUnit[u], platform.Unit{ASN: u.ASN, City: u.City}, 0, totalHours, cfg.BinHours)
+		treatedSeries, treatedEmpty := platform.MedianRTTSeries(byUnit[u], platform.Unit{ASN: u.ASN, City: u.City}, 0, totalHours, cfg.BinHours)
 
 		units := append([]string{u.String()}, donorNames...)
 		y := mathx.NewMatrix(len(units), nBins)
 		y.SetRow(0, treatedSeries)
+		observed := make([][]bool, 0, len(units))
+		observed = append(observed, observedMask(treatedEmpty))
 		for i, d := range donorSeries {
 			y.SetRow(i+1, d)
+			observed = append(observed, donorMasks[i])
 		}
-		panel, err := synthetic.NewPanel(units, times, y)
+		masked, err := synthetic.NewMaskedPanel(units, times, y, observed)
 		if err != nil {
 			return nil, err
 		}
-		pl, err := synthetic.PlaceboTest(panel, u.String(), t0, synthetic.Config{Method: cfg.Method})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: unit %v: %w", u, err)
+		panel, coverage, err := masked.Apply(synthetic.MissingPolicy{
+			MinCoverage: cfg.MinCoverage, KeepUnits: []string{u.String()},
+		})
+		row.Coverage = coverage[0].Fraction() // treated unit is row 0
+		for _, c := range coverage[1:] {
+			if c.Dropped {
+				row.DroppedDonors = append(row.DroppedDonors, c.Unit)
+			}
 		}
-		row.RTTDelta = pl.Treated.ATT
-		row.RMSERatio = pl.Treated.RMSERatio
-		row.PValue = pl.PValue
-		row.PreRMSE = pl.Treated.PreRMSE
-		row.SkippedPlacebos = pl.Skipped
-		row.Detail = pl.Treated
+		if err == nil {
+			var pl *synthetic.PlaceboResult
+			pl, err = synthetic.PlaceboTest(panel, u.String(), t0, synthetic.Config{Method: cfg.Method})
+			if err == nil {
+				row.RTTDelta = pl.Treated.ATT
+				row.RMSERatio = pl.Treated.RMSERatio
+				row.PValue = pl.PValue
+				row.PreRMSE = pl.Treated.PreRMSE
+				row.SkippedPlacebos = pl.Skipped
+				row.Detail = pl.Treated
+			}
+		}
+		if err != nil {
+			// Under heavy degradation the donor pool (or the fit) can
+			// collapse; that is a finding for the chaos sweep, not a crash.
+			// On clean runs any estimator failure stays fatal.
+			if !faulty {
+				return nil, fmt.Errorf("experiments: unit %v: %w", u, err)
+			}
+			row.EstimateError = err.Error()
+		}
 
 		if cfg.WithTruth {
 			row.TrueDelta = trueDelta(byUnit[u], truthStore, u, firstHour, totalHours)
@@ -263,23 +353,25 @@ func RunTable1(cfg Table1Config) (*Table1Result, error) {
 }
 
 // trueDelta compares post-treatment median true RTT between the factual
-// (joined) measurements and the counterfactual (never-joined) world.
-func trueDelta(factual []*probe.Measurement, truth *platform.Store, u scenario.Unit, fromHour, toHour float64) float64 {
+// (joined) measurements and the counterfactual (never-joined) world. Failed
+// records carry no truth and are skipped; NaN (no samples in one world)
+// marshals as JSON null.
+func trueDelta(factual []*probe.Measurement, truth *platform.Store, u scenario.Unit, fromHour, toHour float64) NullableFloat {
 	var fact, cf []float64
 	for _, m := range factual {
-		if m.Hour >= fromHour && m.Hour < toHour {
+		if !m.Failed && m.Hour >= fromHour && m.Hour < toHour {
 			fact = append(fact, m.TrueRTTms)
 		}
 	}
 	for _, m := range truth.All() {
-		if m.SrcASN == u.ASN && m.SrcCity == u.City && m.Hour >= fromHour && m.Hour < toHour {
+		if !m.Failed && m.SrcASN == u.ASN && m.SrcCity == u.City && m.Hour >= fromHour && m.Hour < toHour {
 			cf = append(cf, m.TrueRTTms)
 		}
 	}
 	if len(fact) == 0 || len(cf) == 0 {
-		return math.NaN()
+		return NullableFloat(math.NaN())
 	}
-	return mathx.Median(fact) - mathx.Median(cf)
+	return NullableFloat(mathx.Median(fact) - mathx.Median(cf))
 }
 
 func init() {

@@ -1,0 +1,34 @@
+package mathx
+
+// InterpolateMissing fills the entries of xs whose present flag is false,
+// in place: interior gaps by linear interpolation between the nearest
+// present neighbours, leading/trailing gaps by carrying the nearest present
+// value outward. If nothing is present, xs is left untouched. This is the
+// single imputation primitive shared by platform time-series binning and
+// synthetic-control panel repair, so both layers fill gaps identically.
+func InterpolateMissing(xs []float64, present []bool) {
+	n := len(xs)
+	prev := -1
+	for i := 0; i < n; i++ {
+		if !present[i] {
+			continue
+		}
+		if prev == -1 {
+			for j := 0; j < i; j++ {
+				xs[j] = xs[i] // carry first value backward
+			}
+		} else if prev < i-1 {
+			for j := prev + 1; j < i; j++ {
+				frac := float64(j-prev) / float64(i-prev)
+				xs[j] = xs[prev]*(1-frac) + xs[i]*frac
+			}
+		}
+		prev = i
+	}
+	if prev == -1 {
+		return // nothing present; leave values as-is
+	}
+	for j := prev + 1; j < n; j++ {
+		xs[j] = xs[prev] // carry last value forward
+	}
+}

@@ -3,6 +3,7 @@ package platform
 import (
 	"fmt"
 
+	"sisyphus/internal/faults"
 	"sisyphus/internal/netsim/topo"
 	"sisyphus/internal/probe"
 )
@@ -16,6 +17,13 @@ import (
 type Campaign struct {
 	Prober *probe.Prober
 	Store  *Store
+
+	// Faults, when non-nil, applies ingestion-side faults (duplicate and
+	// reordered deliveries) to every record on its way into the Store.
+	// Probe-side faults are injected by installing the same injector as
+	// Prober.Hook; the two halves share one configuration. Call Flush (or
+	// let RunUntil do it) so reorder-held records are not lost.
+	Faults *faults.Injector
 
 	users     []*UserModel
 	baselines []*Baseline
@@ -71,6 +79,21 @@ func (c *Campaign) AddPool(pool *MLabPool, user topo.PoPID, every int) *Campaign
 	return c
 }
 
+// ingest routes records through the fault injector's delivery stage (when
+// installed) and into the store, surfacing duplicate-ID rejections.
+func (c *Campaign) ingest(ms ...*probe.Measurement) error {
+	if len(ms) == 0 {
+		return nil
+	}
+	if c.Faults != nil {
+		ms = c.Faults.Deliver(ms...)
+	}
+	if err := c.Store.Add(ms...); err != nil {
+		return fmt.Errorf("platform: ingest: %w", err)
+	}
+	return nil
+}
+
 // Step advances the engine one step and runs every collector.
 func (c *Campaign) Step() error {
 	e := c.Prober.Engine
@@ -82,7 +105,9 @@ func (c *Campaign) Step() error {
 		if err != nil {
 			return fmt.Errorf("platform: user model: %w", err)
 		}
-		c.Store.Add(ms...)
+		if err := c.ingest(ms...); err != nil {
+			return err
+		}
 		if c.KeepObservations {
 			c.Observations = append(c.Observations, obs...)
 		}
@@ -93,7 +118,9 @@ func (c *Campaign) Step() error {
 			return fmt.Errorf("platform: baseline: %w", err)
 		}
 		if m != nil {
-			c.Store.Add(m)
+			if err := c.ingest(m); err != nil {
+				return err
+			}
 		}
 	}
 	for _, w := range c.watches {
@@ -102,7 +129,9 @@ func (c *Campaign) Step() error {
 			return fmt.Errorf("platform: bgp watch: %w", err)
 		}
 		if m != nil {
-			c.Store.Add(m)
+			if err := c.ingest(m); err != nil {
+				return err
+			}
 		}
 	}
 	for i := range c.pools {
@@ -115,20 +144,41 @@ func (c *Campaign) Step() error {
 		if err != nil {
 			return fmt.Errorf("platform: pool %s: %w", p.pool.Metro, err)
 		}
-		c.Store.Add(m)
+		if err := c.ingest(m); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// RunUntil steps the campaign until the engine clock reaches hour.
+// Flush drains any records the fault injector is still holding in its
+// reorder buffer into the store.
+func (c *Campaign) Flush() error {
+	if c.Faults == nil {
+		return nil
+	}
+	if held := c.Faults.Flush(); len(held) > 0 {
+		if err := c.Store.Add(held...); err != nil {
+			return fmt.Errorf("platform: flush: %w", err)
+		}
+	}
+	return nil
+}
+
+// RunUntil steps the campaign until the engine clock reaches hour, then
+// flushes any reorder-held records.
 func (c *Campaign) RunUntil(hour float64) error {
 	for c.Prober.Engine.Hour() < hour {
 		if err := c.Step(); err != nil {
 			return err
 		}
 	}
-	return nil
+	return c.Flush()
 }
+
+// Coverage reports per-intent stream health: scheduled vs delivered vs
+// failed/truncated/duplicated counts, straight from the store.
+func (c *Campaign) Coverage() map[probe.Intent]StreamCoverage { return c.Store.Coverage() }
 
 // IntentCounts summarizes collected volume per intent tag.
 func (c *Campaign) IntentCounts() map[probe.Intent]int {

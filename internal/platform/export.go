@@ -48,6 +48,5 @@ func (s *Store) LoadJSONL(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	s.Add(ms...)
-	return nil
+	return s.Add(ms...)
 }

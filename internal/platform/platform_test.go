@@ -315,7 +315,7 @@ func TestKnobsRotateResolverAndCoin(t *testing.T) {
 
 func TestInterpolateAllEmpty(t *testing.T) {
 	xs := []float64{0, 0, 0}
-	interpolate(xs, []bool{false, false, false})
+	mathx.InterpolateMissing(xs, []bool{false, false, false})
 	for _, x := range xs {
 		if x != 0 {
 			t.Fatal("all-empty should remain zeros")

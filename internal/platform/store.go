@@ -16,22 +16,106 @@ import (
 	"sisyphus/internal/probe"
 )
 
-// Store accumulates measurements from all collectors.
+// StreamCoverage summarizes one intent stream's health: how many records
+// were scheduled (all rows, including explicit failure markers), how many
+// actually delivered a usable measurement, and how many arrived degraded.
+// Scheduled == Delivered + Failed by construction; coverage is the
+// Delivered/Scheduled ratio degradation reports lean on.
+type StreamCoverage struct {
+	Scheduled  int
+	Delivered  int
+	Failed     int
+	Truncated  int
+	Duplicated int
+}
+
+// Fraction returns Delivered/Scheduled (1 for an empty stream).
+func (c StreamCoverage) Fraction() float64 {
+	if c.Scheduled == 0 {
+		return 1
+	}
+	return float64(c.Delivered) / float64(c.Scheduled)
+}
+
+func (c *StreamCoverage) add(m *probe.Measurement) {
+	c.Scheduled++
+	if m.Failed {
+		c.Failed++
+	} else {
+		c.Delivered++
+	}
+	if m.Truncated {
+		c.Truncated++
+	}
+	if m.DuplicateOf != 0 {
+		c.Duplicated++
+	}
+}
+
+// Store accumulates measurements from all collectors. It enforces ID
+// uniqueness — a platform ingesting the same record twice is a bug, while
+// genuine duplicate deliveries (fault-injected retransmits) arrive as
+// distinct records with DuplicateOf set — and maintains per-intent coverage
+// counters so analyses can report how much data each stream stood on.
 type Store struct {
-	ms []*probe.Measurement
+	ms   []*probe.Measurement
+	seen map[int]bool
+	cov  map[probe.Intent]*StreamCoverage
 }
 
 // NewStore returns an empty store.
-func NewStore() *Store { return &Store{} }
+func NewStore() *Store {
+	return &Store{seen: make(map[int]bool), cov: make(map[probe.Intent]*StreamCoverage)}
+}
 
-// Add appends measurements.
-func (s *Store) Add(ms ...*probe.Measurement) { s.ms = append(s.ms, ms...) }
+// Add appends measurements, rejecting any whose ID the store has already
+// seen. On error the offending record and everything after it are not
+// added; earlier records in the same call remain (the caller is mid-crash
+// anyway — Campaign surfaces the error and stops the run).
+func (s *Store) Add(ms ...*probe.Measurement) error {
+	for _, m := range ms {
+		if s.seen[m.ID] {
+			return fmt.Errorf("platform: duplicate measurement ID %d (intent %s, hour %.2f)", m.ID, m.Intent, m.Hour)
+		}
+		s.seen[m.ID] = true
+		c := s.cov[m.Intent]
+		if c == nil {
+			c = &StreamCoverage{}
+			s.cov[m.Intent] = c
+		}
+		c.add(m)
+		s.ms = append(s.ms, m)
+	}
+	return nil
+}
 
 // Len returns the number of stored measurements.
 func (s *Store) Len() int { return len(s.ms) }
 
 // All returns all measurements (shared backing slice; do not mutate).
 func (s *Store) All() []*probe.Measurement { return s.ms }
+
+// Coverage returns a copy of the per-intent stream coverage counters.
+func (s *Store) Coverage() map[probe.Intent]StreamCoverage {
+	out := make(map[probe.Intent]StreamCoverage, len(s.cov))
+	for in, c := range s.cov {
+		out[in] = *c
+	}
+	return out
+}
+
+// TotalCoverage sums coverage across every intent stream.
+func (s *Store) TotalCoverage() StreamCoverage {
+	var total StreamCoverage
+	for _, c := range s.cov {
+		total.Scheduled += c.Scheduled
+		total.Delivered += c.Delivered
+		total.Failed += c.Failed
+		total.Truncated += c.Truncated
+		total.Duplicated += c.Duplicated
+	}
+	return total
+}
 
 // Filter returns measurements satisfying the predicate.
 func (s *Store) Filter(keep func(*probe.Measurement) bool) []*probe.Measurement {
@@ -47,6 +131,12 @@ func (s *Store) Filter(keep func(*probe.Measurement) bool) []*probe.Measurement 
 // ByIntent returns measurements with the given intent tag.
 func (s *Store) ByIntent(in probe.Intent) []*probe.Measurement {
 	return s.Filter(func(m *probe.Measurement) bool { return m.Intent == in })
+}
+
+// Delivered returns the measurements that actually produced data (Failed
+// markers excluded) — what estimators should consume.
+func (s *Store) Delivered() []*probe.Measurement {
+	return s.Filter(func(m *probe.Measurement) bool { return !m.Failed })
 }
 
 // Unit identifies an ⟨ASN, city⟩ aggregation unit — the granularity of the
@@ -84,9 +174,16 @@ func (s *Store) Units() []Unit {
 // Frame flattens measurements into a columnar dataset with the numeric
 // columns estimators need: hour, src_asn, dst_asn, rtt_ms, tput_mbps,
 // loss, family, plus ground-truth columns true_rtt_ms and true_max_util
-// (for validation only).
+// (for validation only). Failed records carry no performance data and are
+// excluded; coverage counters on the Store account for them.
 func Frame(ms []*probe.Measurement) *data.Frame {
-	n := len(ms)
+	kept := ms[:0:0]
+	for _, m := range ms {
+		if !m.Failed {
+			kept = append(kept, m)
+		}
+	}
+	n := len(kept)
 	cols := map[string][]float64{
 		"hour": make([]float64, n), "src_asn": make([]float64, n),
 		"dst_asn": make([]float64, n), "rtt_ms": make([]float64, n),
@@ -94,7 +191,7 @@ func Frame(ms []*probe.Measurement) *data.Frame {
 		"family": make([]float64, n), "true_rtt_ms": make([]float64, n),
 		"true_max_util": make([]float64, n),
 	}
-	for i, m := range ms {
+	for i, m := range kept {
 		cols["hour"][i] = m.Hour
 		cols["src_asn"][i] = float64(m.SrcASN)
 		cols["dst_asn"][i] = float64(m.DstASN)
@@ -114,15 +211,17 @@ func Frame(ms []*probe.Measurement) *data.Frame {
 
 // MedianRTTSeries bins one unit's measurements into fixed windows of
 // binHours covering [startHour, endHour) and returns the per-bin median RTT.
-// Empty bins are filled by linear interpolation between neighbours (carrying
-// the edge values outward) and reported in the second return value, so
+// Failed records are tagged gaps, not observations, and are skipped. Empty
+// bins are filled by linear interpolation between neighbours (carrying the
+// edge values outward) and reported in the second return value, so
 // synthetic-control panels stay rectangular even under bursty user-initiated
-// sampling.
+// sampling; callers that need the raw mask (for coverage-aware panels) can
+// reconstruct it from emptyBins.
 func MedianRTTSeries(ms []*probe.Measurement, u Unit, startHour, endHour, binHours float64) (series []float64, emptyBins []int) {
 	nBins := int((endHour - startHour) / binHours)
 	buckets := make([][]float64, nBins)
 	for _, m := range ms {
-		if UnitOf(m) != u || m.Hour < startHour || m.Hour >= endHour {
+		if m.Failed || UnitOf(m) != u || m.Hour < startHour || m.Hour >= endHour {
 			continue
 		}
 		b := int((m.Hour - startHour) / binHours)
@@ -140,34 +239,6 @@ func MedianRTTSeries(ms []*probe.Measurement, u Unit, startHour, endHour, binHou
 			emptyBins = append(emptyBins, i)
 		}
 	}
-	interpolate(series, present)
+	mathx.InterpolateMissing(series, present)
 	return series, emptyBins
-}
-
-// interpolate fills gaps in place given a presence mask.
-func interpolate(xs []float64, present []bool) {
-	n := len(xs)
-	prev := -1
-	for i := 0; i < n; i++ {
-		if !present[i] {
-			continue
-		}
-		if prev == -1 {
-			for j := 0; j < i; j++ {
-				xs[j] = xs[i] // carry first value backward
-			}
-		} else if prev < i-1 {
-			for j := prev + 1; j < i; j++ {
-				frac := float64(j-prev) / float64(i-prev)
-				xs[j] = xs[prev]*(1-frac) + xs[i]*frac
-			}
-		}
-		prev = i
-	}
-	if prev == -1 {
-		return // nothing present; leave zeros
-	}
-	for j := prev + 1; j < n; j++ {
-		xs[j] = xs[prev] // carry last value forward
-	}
 }

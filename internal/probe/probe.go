@@ -65,6 +65,22 @@ type Measurement struct {
 	Hops           []HopRecord
 	ASPath         []topo.ASN
 
+	// Failed marks a probe whose every attempt timed out (injected fault or
+	// vantage outage). The record still carries its identity fields so the
+	// gap is explicit and attributable; performance fields are zero and must
+	// not be aggregated. Analyses filter on this flag, never on absence.
+	Failed bool `json:",omitempty"`
+	// Truncated marks a traceroute whose tail hops were lost: Hops is a
+	// strict prefix of the real path and the IXP detector may miss
+	// crossings on this record.
+	Truncated bool `json:",omitempty"`
+	// Attempts is how many tries the probe took (1 = first-try success).
+	// Zero only on records predating retry accounting.
+	Attempts int `json:",omitempty"`
+	// DuplicateOf is the ID of the original record when this one is an
+	// injected duplicate delivery; zero otherwise.
+	DuplicateOf int `json:",omitempty"`
+
 	// Ground-truth fields (prefixed True) exist only because the substrate
 	// is a simulator; estimators must not use them. They let tests compare
 	// estimates against the truth.
@@ -79,11 +95,20 @@ type Prober struct {
 	Engine *engine.Engine
 	rng    *mathx.RNG
 	nextID int
+	probes int // probe sequence counter; keys fault-hook RNG streams
 	// RTTJitterMs scales additive measurement jitter (default 1.2).
 	RTTJitterMs float64
 	// ThroughputEff is the mean fraction of bottleneck bandwidth a TCP
 	// transfer achieves (default 0.85).
 	ThroughputEff float64
+	// Hook, when non-nil, injects measurement faults (drops, outages,
+	// truncation, skew). Its decisions come from its own pre-split RNG
+	// streams, so installing a hook with all rates zero leaves output
+	// bit-identical to Hook == nil.
+	Hook FaultHook
+	// Retry bounds how failed attempts are retried; the zero value means
+	// one attempt, no retry.
+	Retry RetryPolicy
 }
 
 // NewProber returns a prober with its own noise stream.
@@ -98,21 +123,35 @@ func (p *Prober) jitter() float64 {
 
 // Ping measures RTT between two PoPs.
 func (p *Prober) Ping(src, dst topo.PoPID, intent Intent, trigger string) (*Measurement, error) {
+	seq, attempts, failed := p.attempt(src)
+	if failed {
+		return p.failedRecord(src, dst, intent, trigger, 4, attempts), nil
+	}
 	perf, err := p.Engine.Perf(src, dst)
 	if err != nil {
 		return nil, err
 	}
-	return p.record(src, dst, perf, intent, trigger, false), nil
+	m := p.record(src, dst, perf, intent, trigger, false)
+	m.Attempts = attempts
+	p.mutate(m, seq)
+	return m, nil
 }
 
 // Traceroute measures the path between two PoPs with per-hop RTTs and
 // addresses (IXP LAN addresses appear on IXP crossings).
 func (p *Prober) Traceroute(src, dst topo.PoPID, intent Intent, trigger string) (*Measurement, error) {
+	seq, attempts, failed := p.attempt(src)
+	if failed {
+		return p.failedRecord(src, dst, intent, trigger, 4, attempts), nil
+	}
 	perf, err := p.Engine.Perf(src, dst)
 	if err != nil {
 		return nil, err
 	}
-	return p.record(src, dst, perf, intent, trigger, true), nil
+	m := p.record(src, dst, perf, intent, trigger, true)
+	m.Attempts = attempts
+	p.mutate(m, seq)
+	return m, nil
 }
 
 // SpeedTest measures throughput to the nearest PoP of a destination AS and
@@ -132,11 +171,16 @@ func (p *Prober) SpeedTest(src topo.PoPID, dstAS topo.ASN, intent Intent, trigge
 // SpeedTestTo measures throughput to a specific server PoP (used when a
 // load balancer, not anycast, picks the server).
 func (p *Prober) SpeedTestTo(src, dst topo.PoPID, intent Intent, trigger string) (*Measurement, error) {
+	seq, attempts, failed := p.attempt(src)
+	if failed {
+		return p.failedRecord(src, dst, intent, trigger, 4, attempts), nil
+	}
 	perf, err := p.Engine.Perf(src, dst)
 	if err != nil {
 		return nil, err
 	}
 	m := p.record(src, dst, perf, intent, trigger, true)
+	m.Attempts = attempts
 	eff := p.ThroughputEff + p.rng.Normal(0, 0.05)
 	if eff < 0.3 {
 		eff = 0.3
@@ -145,6 +189,7 @@ func (p *Prober) SpeedTestTo(src, dst topo.PoPID, intent Intent, trigger string)
 		eff = 1
 	}
 	m.ThroughputMbps = perf.ThroughputMbps * eff
+	p.mutate(m, seq)
 	return m, nil
 }
 
@@ -218,11 +263,16 @@ func (p *Prober) SpeedTestFamily(src topo.PoPID, dstAS topo.ASN, family engine.F
 	if err != nil {
 		return nil, err
 	}
+	seq, attempts, failed := p.attempt(src)
+	if failed {
+		return p.failedRecord(src, dst, intent, trigger, int(family), attempts), nil
+	}
 	perf, err := p.Engine.PerfFamily(src, dst, family)
 	if err != nil {
 		return nil, err
 	}
 	m := p.recordFamily(src, dst, perf, intent, trigger, true, int(family))
+	m.Attempts = attempts
 	eff := p.ThroughputEff + p.rng.Normal(0, 0.05)
 	if eff < 0.3 {
 		eff = 0.3
@@ -231,5 +281,6 @@ func (p *Prober) SpeedTestFamily(src topo.PoPID, dstAS topo.ASN, family engine.F
 		eff = 1
 	}
 	m.ThroughputMbps = perf.ThroughputMbps * eff
+	p.mutate(m, seq)
 	return m, nil
 }

@@ -1,0 +1,125 @@
+package probe
+
+import "sisyphus/internal/netsim/topo"
+
+// FaultHook is the probe-side interface to a measurement-fault injector
+// (implemented by internal/faults). The prober consults it once per probe
+// attempt and once per completed record. A nil hook — and equally a hook
+// whose every fault rate is zero — leaves the prober's output bit-identical
+// to a fault-free run: the hook owns its own pre-split RNG streams, so
+// consulting it never advances the prober's measurement-noise stream.
+type FaultHook interface {
+	// AttemptFails reports whether the probe attempt with the given
+	// per-prober sequence number times out (an injected drop, or the
+	// vantage point being inside an outage window).
+	AttemptFails(src topo.PoPID, hour float64, seq, attempt int) bool
+	// MutateMeasurement applies record-level faults (traceroute
+	// truncation, timestamp skew) to a completed measurement.
+	MutateMeasurement(m *Measurement, seq int)
+}
+
+// RetryPolicy bounds how a prober reacts to failed attempts: at most
+// MaxAttempts tries per probe, with a deterministic exponential backoff
+// between them. The backoff is virtual — the simulation clock does not
+// advance during retries — but the schedule is recorded so analyses (and
+// tests) can reason about retry cost, and so a future wall-clock prober can
+// reuse the exact same policy.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per probe (default 1:
+	// no retry — a single failed attempt yields a Failed record).
+	MaxAttempts int
+	// BaseBackoffMs is the wait before the second attempt (default 500).
+	BaseBackoffMs float64
+	// Multiplier grows the wait per additional attempt (default 2).
+	Multiplier float64
+	// MaxBackoffMs caps any single wait (default 8000).
+	MaxBackoffMs float64
+}
+
+func (rp RetryPolicy) withDefaults() RetryPolicy {
+	if rp.MaxAttempts <= 0 {
+		rp.MaxAttempts = 1
+	}
+	if rp.BaseBackoffMs <= 0 {
+		rp.BaseBackoffMs = 500
+	}
+	if rp.Multiplier <= 0 {
+		rp.Multiplier = 2
+	}
+	if rp.MaxBackoffMs <= 0 {
+		rp.MaxBackoffMs = 8000
+	}
+	return rp
+}
+
+// BackoffMs returns the deterministic wait before the given attempt number
+// (attempt 2 waits BaseBackoffMs, attempt 3 waits BaseBackoffMs×Multiplier,
+// …), capped at MaxBackoffMs. Attempt 1 has no wait.
+func (rp RetryPolicy) BackoffMs(attempt int) float64 {
+	rp = rp.withDefaults()
+	if attempt <= 1 {
+		return 0
+	}
+	d := rp.BaseBackoffMs
+	for i := 2; i < attempt; i++ {
+		d *= rp.Multiplier
+		if d >= rp.MaxBackoffMs {
+			return rp.MaxBackoffMs
+		}
+	}
+	if d > rp.MaxBackoffMs {
+		d = rp.MaxBackoffMs
+	}
+	return d
+}
+
+// TotalBackoffMs sums the waits of a probe that exhausts every attempt.
+func (rp RetryPolicy) TotalBackoffMs() float64 {
+	rp = rp.withDefaults()
+	var total float64
+	for a := 2; a <= rp.MaxAttempts; a++ {
+		total += rp.BackoffMs(a)
+	}
+	return total
+}
+
+// attempt allocates the next probe sequence number and runs the bounded
+// retry loop against the fault hook. It reports the sequence number, how
+// many attempts were made, and whether every attempt failed.
+func (p *Prober) attempt(src topo.PoPID) (seq, attempts int, failed bool) {
+	p.probes++
+	seq = p.probes
+	if p.Hook == nil {
+		return seq, 1, false
+	}
+	rp := p.Retry.withDefaults()
+	for a := 1; a <= rp.MaxAttempts; a++ {
+		if !p.Hook.AttemptFails(src, p.Engine.Hour(), seq, a) {
+			return seq, a, false
+		}
+	}
+	return seq, rp.MaxAttempts, true
+}
+
+// mutate lets the fault hook post-process a completed measurement.
+func (p *Prober) mutate(m *Measurement, seq int) {
+	if p.Hook != nil {
+		p.Hook.MutateMeasurement(m, seq)
+	}
+}
+
+// failedRecord builds the explicit marker for a probe whose every attempt
+// timed out. The record keeps its identity fields (who probed whom, when,
+// why) so a dead vantage point's schedule shows up as tagged gaps rather
+// than silently missing rows; performance fields stay zero and Failed is
+// set, and every aggregation must filter on it.
+func (p *Prober) failedRecord(src, dst topo.PoPID, intent Intent, trigger string, family, attempts int) *Measurement {
+	t := p.Engine.Topo
+	sp, dp := t.PoP(src), t.PoP(dst)
+	p.nextID++
+	return &Measurement{
+		ID: p.nextID, Hour: p.Engine.Hour(), Intent: intent, Trigger: trigger,
+		SrcASN: sp.AS, SrcCity: sp.City, DstASN: dp.AS, DstCity: dp.City,
+		Family: family, Failed: true, Attempts: attempts,
+	}
+}
