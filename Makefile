@@ -26,6 +26,9 @@ race:
 verify: build vet race
 
 # The benchmarks backing DESIGN.md's ablation tables and CHANGES.md's
-# before/after numbers.
+# before/after numbers. Text output streams as usual; a machine-readable
+# BENCH_sisyphus.json is written alongside for CI trend tracking. Override
+# BENCHTIME (e.g. BENCHTIME=1x) for a quick smoke pass.
+BENCHTIME ?= 1s
 bench:
-	$(GO) test -bench=. -benchmem -timeout 60m .
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -timeout 60m . | $(GO) run ./cmd/benchjson -out BENCH_sisyphus.json

@@ -7,6 +7,7 @@
 package sisyphus
 
 import (
+	"context"
 	"testing"
 
 	"sisyphus/internal/causal/synthetic"
@@ -14,13 +15,14 @@ import (
 	"sisyphus/internal/mathx"
 	"sisyphus/internal/netsim/bgp"
 	"sisyphus/internal/netsim/topo"
+	"sisyphus/internal/parallel"
 )
 
 // BenchmarkTable1IXPStudy regenerates Table 1: the six-week NAPAfrica case
 // study with robust synthetic control and placebo inference.
 func BenchmarkTable1IXPStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, err := experiments.RunTable1(experiments.Table1Config{
+		_, err := experiments.RunTable1(context.Background(), parallel.Pool{}, experiments.Table1Config{
 			Weeks: 4, JoinWeek: 2, Seed: uint64(i), Method: synthetic.Robust,
 		})
 		if err != nil {
@@ -33,7 +35,7 @@ func BenchmarkTable1IXPStudy(b *testing.B) {
 // (naive vs stratified vs regression vs IPW vs ground truth).
 func BenchmarkConfounderAdjustment(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunConfounding(uint64(i), 400); err != nil {
+		if _, err := experiments.RunConfounding(context.Background(), parallel.Pool{}, uint64(i), 400); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -42,7 +44,7 @@ func BenchmarkConfounderAdjustment(b *testing.B) {
 // BenchmarkColliderBias regenerates the speed-test collider box.
 func BenchmarkColliderBias(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunCollider(uint64(i), 800); err != nil {
+		if _, err := experiments.RunCollider(context.Background(), parallel.Pool{}, uint64(i), 800); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -51,7 +53,7 @@ func BenchmarkColliderBias(b *testing.B) {
 // BenchmarkCellularConfounding regenerates the cellular-reliability box.
 func BenchmarkCellularConfounding(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunCellular(uint64(i), 10000); err != nil {
+		if _, err := experiments.RunCellular(context.Background(), uint64(i), 10000); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -60,7 +62,7 @@ func BenchmarkCellularConfounding(b *testing.B) {
 // BenchmarkMLabRandomization regenerates the M-Lab randomization contrast.
 func BenchmarkMLabRandomization(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunMLab(uint64(i), 400); err != nil {
+		if _, err := experiments.RunMLab(context.Background(), parallel.Pool{}, uint64(i), 400); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -69,7 +71,7 @@ func BenchmarkMLabRandomization(b *testing.B) {
 // BenchmarkInstrumentalVariable regenerates the valid/invalid IV contrast.
 func BenchmarkInstrumentalVariable(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunInstrument(uint64(i), 500); err != nil {
+		if _, err := experiments.RunInstrument(context.Background(), parallel.Pool{}, uint64(i), 500); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -78,7 +80,7 @@ func BenchmarkInstrumentalVariable(b *testing.B) {
 // BenchmarkCounterfactual regenerates the abduction-vs-replay comparison.
 func BenchmarkCounterfactual(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunCounterfactual(uint64(i), 600); err != nil {
+		if _, err := experiments.RunCounterfactual(context.Background(), parallel.Pool{}, uint64(i), 600); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -87,7 +89,7 @@ func BenchmarkCounterfactual(b *testing.B) {
 // BenchmarkExposureVsImpact regenerates the Xaminer-box cable-cut sweep.
 func BenchmarkExposureVsImpact(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunExposure(uint64(i)); err != nil {
+		if _, err := experiments.RunExposure(context.Background(), parallel.Pool{}, uint64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -96,7 +98,7 @@ func BenchmarkExposureVsImpact(b *testing.B) {
 // BenchmarkIntentTagging regenerates the §4 platform-design demonstration.
 func BenchmarkIntentTagging(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunIntent(uint64(i), 500); err != nil {
+		if _, err := experiments.RunIntent(context.Background(), parallel.Pool{}, uint64(i), 500); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -163,7 +165,7 @@ func BenchmarkAblationPlaceboVsTTest(b *testing.B) {
 	b.Run("placebo", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			p := scPanel(uint64(i))
-			if _, err := synthetic.PlaceboTest(p, "a", 60, synthetic.Config{Method: synthetic.Robust}); err != nil {
+			if _, err := synthetic.PlaceboTest(context.Background(), p, "a", 60, synthetic.Config{Method: synthetic.Robust}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -221,7 +223,7 @@ func BenchmarkAblationIncrementalBGP(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	rib, err := bgp.Compute(tp, nil)
+	rib, err := bgp.Compute(context.Background(), parallel.Pool{}, tp, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -230,14 +232,14 @@ func BenchmarkAblationIncrementalBGP(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			pol := bgp.NewPolicy()
 			pol.DenyLink[links[i%len(links)].ID] = true
-			if _, err := bgp.Compute(tp, pol); err != nil {
+			if _, err := bgp.Compute(context.Background(), parallel.Pool{}, tp, pol); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("incremental", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := rib.RecomputeAfterLinkFailure(links[i%len(links)].ID); err != nil {
+			if _, err := rib.RecomputeAfterLinkFailure(context.Background(), links[i%len(links)].ID); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -266,7 +268,7 @@ func BenchmarkBGPFullCompute(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := bgp.Compute(tp, nil); err != nil {
+		if _, err := bgp.Compute(context.Background(), parallel.Pool{}, tp, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -288,7 +290,7 @@ func BenchmarkSVD(b *testing.B) {
 // worlds per iteration).
 func BenchmarkRootCauseReplay(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunRootCause(uint64(i)); err != nil {
+		if _, err := experiments.RunRootCause(context.Background(), parallel.Pool{}, uint64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -297,7 +299,7 @@ func BenchmarkRootCauseReplay(b *testing.B) {
 // BenchmarkFamilyToggleIV regenerates the §4 IPv4/IPv6 knob experiment.
 func BenchmarkFamilyToggleIV(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunFamilyKnob(uint64(i), 400); err != nil {
+		if _, err := experiments.RunFamilyKnob(context.Background(), parallel.Pool{}, uint64(i), 400); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -306,7 +308,7 @@ func BenchmarkFamilyToggleIV(b *testing.B) {
 // BenchmarkDiDvsSC regenerates the DiD-vs-synthetic-control contrast.
 func BenchmarkDiDvsSC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunDiD(uint64(i)); err != nil {
+		if _, err := experiments.RunDiD(context.Background(), parallel.Pool{}, uint64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -315,7 +317,7 @@ func BenchmarkDiDvsSC(b *testing.B) {
 // BenchmarkPowerAnalysis regenerates the §4 design-planning power curve.
 func BenchmarkPowerAnalysis(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunPower(uint64(i), 20); err != nil {
+		if _, err := experiments.RunPower(context.Background(), parallel.Pool{}, uint64(i), 20); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -324,7 +326,7 @@ func BenchmarkPowerAnalysis(b *testing.B) {
 // BenchmarkTromboneEraContrast regenerates the two-era comparison.
 func BenchmarkTromboneEraContrast(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunTromboneEra(uint64(i)); err != nil {
+		if _, err := experiments.RunTromboneEra(context.Background(), parallel.Pool{}, uint64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -5,14 +5,23 @@
 //
 //	sisyphus -list
 //	sisyphus -experiment table1 [-seed 42]
-//	sisyphus -all [-parallel] [-workers 8]
+//	sisyphus -all [-parallel] [-workers 8] [-timeout 5m]
+//
+// The whole run is governed by one context: SIGINT (Ctrl-C) or an elapsed
+// -timeout cancels it, experiments stop at their next pipeline-stage
+// boundary, and a cancelled -all run reports which experiments completed
+// before exiting non-zero.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 
 	"sisyphus/internal/experiments"
 	"sisyphus/internal/parallel"
@@ -32,6 +41,27 @@ func validateFlags(workersSet bool, workers int, parallelMode bool) error {
 	return nil
 }
 
+// canceled reports whether err is the run context giving out (Ctrl-C or
+// -timeout) rather than an experiment failing on its own.
+func canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// exitCancelled reports a cancelled -all run: which experiments finished,
+// which never did, and a non-zero exit so scripts notice.
+func exitCancelled(err error, completed, notRun []string) {
+	join := func(ids []string) string {
+		if len(ids) == 0 {
+			return "(none)"
+		}
+		return strings.Join(ids, ", ")
+	}
+	fmt.Fprintf(os.Stderr, "sisyphus: run cancelled: %v\n", err)
+	fmt.Fprintf(os.Stderr, "sisyphus: completed: %s\n", join(completed))
+	fmt.Fprintf(os.Stderr, "sisyphus: not run: %s\n", join(notRun))
+	os.Exit(1)
+}
+
 func main() {
 	var (
 		list     = flag.Bool("list", false, "list available experiments")
@@ -41,6 +71,7 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit results as JSON instead of tables")
 		par      = flag.Bool("parallel", false, "with -all, run independent experiments concurrently (output is bit-identical to sequential)")
 		nworkers = flag.Int("workers", 0, "worker-pool width for parallel stages (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (e.g. 90s, 10m); 0 = no limit")
 	)
 	flag.Parse()
 	workersSet := false
@@ -53,9 +84,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sisyphus:", err)
 		os.Exit(2)
 	}
-	if *nworkers > 0 {
-		parallel.SetWorkers(*nworkers)
+	if *timeout < 0 {
+		fmt.Fprintf(os.Stderr, "sisyphus: -timeout must be >= 0 (got %v)\n", *timeout)
+		os.Exit(2)
 	}
+
+	// The run's worker pool is a value scoped to this invocation — nothing
+	// global is mutated, so two suites in one process cannot interfere.
+	pool := parallel.Default()
+	if *nworkers > 0 {
+		pool = parallel.NewPool(*nworkers)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	cfg := experiments.Config{Seed: *seed, Pool: pool}
 
 	emit := func(res experiments.Renderable) {
 		if *asJSON {
@@ -79,23 +127,49 @@ func main() {
 	case *all && *par:
 		// Concurrent suite: experiments fan out across the pool, results
 		// print in ID order once all are done — same bytes as sequential.
-		for _, oc := range experiments.RunAll(*seed) {
-			fmt.Printf("=== %s: %s ===\n\n", oc.Exp.ID, oc.Exp.Paper)
-			if oc.Err != nil {
+		outs, runErr := experiments.RunAll(ctx, cfg)
+		var completed, notRun []string
+		for _, oc := range outs {
+			switch {
+			case oc.Res != nil:
+				fmt.Print(oc.Exp.Header())
+				emit(oc.Res)
+				completed = append(completed, oc.Exp.ID)
+			case oc.Err != nil && !canceled(oc.Err):
+				fmt.Print(oc.Exp.Header())
 				fmt.Fprintf(os.Stderr, "sisyphus: %s: %v\n", oc.Exp.ID, oc.Err)
 				os.Exit(1)
+			default:
+				// Cancelled mid-run or never scheduled: no output of its own.
+				notRun = append(notRun, oc.Exp.ID)
 			}
-			emit(oc.Res)
+		}
+		if runErr != nil {
+			if canceled(runErr) {
+				exitCancelled(runErr, completed, notRun)
+			}
+			fmt.Fprintln(os.Stderr, "sisyphus:", runErr)
+			os.Exit(1)
 		}
 	case *all:
-		for _, e := range experiments.All() {
-			fmt.Printf("=== %s: %s ===\n\n", e.ID, e.Paper)
-			res, err := e.Run(*seed)
+		exps := experiments.All()
+		var completed []string
+		for i, e := range exps {
+			fmt.Print(e.Header())
+			res, err := e.Run(ctx, cfg)
 			if err != nil {
+				if canceled(err) {
+					var notRun []string
+					for _, rest := range exps[i:] {
+						notRun = append(notRun, rest.ID)
+					}
+					exitCancelled(err, completed, notRun)
+				}
 				fmt.Fprintf(os.Stderr, "sisyphus: %s: %v\n", e.ID, err)
 				os.Exit(1)
 			}
 			emit(res)
+			completed = append(completed, e.ID)
 		}
 	case *exp != "":
 		e, err := experiments.Get(*exp)
@@ -103,7 +177,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sisyphus:", err)
 			os.Exit(2)
 		}
-		res, err := e.Run(*seed)
+		res, err := e.Run(ctx, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sisyphus: %s: %v\n", e.ID, err)
 			os.Exit(1)

@@ -8,11 +8,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"sisyphus/internal/causal/dag"
 	"sisyphus/internal/experiments"
+	"sisyphus/internal/parallel"
 )
 
 func main() {
@@ -25,7 +27,7 @@ func main() {
 	}
 	fmt.Println()
 
-	res, err := experiments.RunCollider(42, 3000)
+	res, err := experiments.RunCollider(context.Background(), parallel.Default(), 42, 3000)
 	if err != nil {
 		log.Fatal(err)
 	}

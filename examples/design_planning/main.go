@@ -11,12 +11,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"sisyphus/internal/causal/dag"
 	"sisyphus/internal/causal/power"
 	"sisyphus/internal/causal/synthetic"
+	"sisyphus/internal/parallel"
 )
 
 func main() {
@@ -47,13 +49,13 @@ func main() {
 	}
 	fmt.Println("design: 18 donors, 6 weeks at 12h bins, ~1.2 ms unit noise")
 	for _, eff := range []float64{0.5, 1, 2, 3} {
-		p, err := design.Power(eff, 0.06, 80, 42)
+		p, err := design.Power(context.Background(), parallel.Default(), eff, 0.06, 80, 42)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  power to detect a %.1f ms effect: %.2f\n", eff, p)
 	}
-	mde, err := design.MinDetectableEffect(0.06, 0.8, 8, 40, 43)
+	mde, err := design.MinDetectableEffect(context.Background(), parallel.Default(), 0.06, 0.8, 8, 40, 43)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,12 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
 	"sisyphus/internal/causal/synthetic"
 	"sisyphus/internal/experiments"
+	"sisyphus/internal/parallel"
 )
 
 func main() {
@@ -32,7 +34,7 @@ func main() {
 	if *classic {
 		method = synthetic.Classic
 	}
-	res, err := experiments.RunTable1(experiments.Table1Config{
+	res, err := experiments.RunTable1(context.Background(), parallel.Default(), experiments.Table1Config{
 		Weeks: *weeks, JoinWeek: *join, Seed: *seed, Method: method, WithTruth: true,
 	})
 	if err != nil {

@@ -9,11 +9,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"sisyphus/internal/causal/dag"
 	"sisyphus/internal/experiments"
+	"sisyphus/internal/parallel"
 )
 
 func main() {
@@ -28,7 +30,7 @@ func main() {
 	fmt.Println()
 
 	fmt.Println("Step 2 — run the measurement campaign and estimate:")
-	res, err := experiments.RunInstrument(42, 2000)
+	res, err := experiments.RunInstrument(context.Background(), parallel.Default(), 42, 2000)
 	if err != nil {
 		log.Fatal(err)
 	}

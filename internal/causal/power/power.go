@@ -12,6 +12,7 @@
 package power
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -53,8 +54,10 @@ func (d SCDesign) withDefaults() (SCDesign, error) {
 }
 
 // simulate builds one synthetic panel under the design with the given
-// treatment effect and returns the placebo p-value.
-func (d SCDesign) simulate(r *mathx.RNG, effect float64) (float64, error) {
+// treatment effect and returns the placebo p-value. Each simulated trial is
+// one shard of the pool already; its inner placebo test runs sequentially
+// (width 1) so nested fan-out cannot oversubscribe the pool.
+func (d SCDesign) simulate(ctx context.Context, r *mathx.RNG, effect float64) (float64, error) {
 	nUnits := d.Donors + 1
 	nTimes := d.PrePeriods + d.PostPeriods
 	const nFactors = 3
@@ -103,7 +106,8 @@ func (d SCDesign) simulate(r *mathx.RNG, effect float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	pl, err := synthetic.PlaceboTest(panel, "u0", d.PrePeriods, synthetic.Config{Method: d.Method})
+	pl, err := synthetic.PlaceboTest(ctx, panel, "u0", d.PrePeriods,
+		synthetic.Config{Method: d.Method, Pool: parallel.NewPool(1)})
 	if err != nil {
 		return 0, err
 	}
@@ -111,8 +115,9 @@ func (d SCDesign) simulate(r *mathx.RNG, effect float64) (float64, error) {
 }
 
 // Power estimates the probability that the placebo test detects the given
-// effect at level alpha, over `trials` simulated panels.
-func (d SCDesign) Power(effect, alpha float64, trials int, seed uint64) (float64, error) {
+// effect at level alpha, over `trials` simulated panels. Trials shard across
+// pool; cancelling ctx stops scheduling further trials and returns ctx.Err().
+func (d SCDesign) Power(ctx context.Context, pool parallel.Pool, effect, alpha float64, trials int, seed uint64) (float64, error) {
 	dd, err := d.withDefaults()
 	if err != nil {
 		return 0, err
@@ -129,8 +134,8 @@ func (d SCDesign) Power(effect, alpha float64, trials int, seed uint64) (float64
 	for i := range rngs {
 		rngs[i] = r.Split()
 	}
-	pvals, err := parallel.Map(trials, func(i int) (float64, error) {
-		return dd.simulate(rngs[i], effect)
+	pvals, err := parallel.Map(ctx, pool, trials, func(i int) (float64, error) {
+		return dd.simulate(ctx, rngs[i], effect)
 	})
 	if err != nil {
 		return 0, err
@@ -147,11 +152,11 @@ func (d SCDesign) Power(effect, alpha float64, trials int, seed uint64) (float64
 // MinDetectableEffect bisects the effect size until Power ≈ target at level
 // alpha, searching in (0, maxEffect]. Returns the smallest effect with at
 // least the target power (to bisection tolerance).
-func (d SCDesign) MinDetectableEffect(alpha, target, maxEffect float64, trials int, seed uint64) (float64, error) {
+func (d SCDesign) MinDetectableEffect(ctx context.Context, pool parallel.Pool, alpha, target, maxEffect float64, trials int, seed uint64) (float64, error) {
 	if target <= 0 || target >= 1 {
 		return 0, fmt.Errorf("power: target must be in (0,1)")
 	}
-	hiPow, err := d.Power(maxEffect, alpha, trials, seed)
+	hiPow, err := d.Power(ctx, pool, maxEffect, alpha, trials, seed)
 	if err != nil {
 		return 0, err
 	}
@@ -161,7 +166,7 @@ func (d SCDesign) MinDetectableEffect(alpha, target, maxEffect float64, trials i
 	lo, hi := 0.0, maxEffect
 	for iter := 0; iter < 12; iter++ {
 		mid := (lo + hi) / 2
-		p, err := d.Power(mid, alpha, trials, seed+uint64(iter)+1)
+		p, err := d.Power(ctx, pool, mid, alpha, trials, seed+uint64(iter)+1)
 		if err != nil {
 			return 0, err
 		}

@@ -1,9 +1,11 @@
 package power
 
 import (
+	"context"
 	"testing"
 
 	"sisyphus/internal/causal/synthetic"
+	"sisyphus/internal/parallel"
 )
 
 func table1ishDesign() SCDesign {
@@ -15,11 +17,11 @@ func table1ishDesign() SCDesign {
 
 func TestPowerMonotoneInEffect(t *testing.T) {
 	d := table1ishDesign()
-	pSmall, err := d.Power(0.3, 0.06, 60, 1)
+	pSmall, err := d.Power(context.Background(), parallel.Pool{}, 0.3, 0.06, 60, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pBig, err := d.Power(5, 0.06, 60, 1)
+	pBig, err := d.Power(context.Background(), parallel.Pool{}, 5, 0.06, 60, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +38,7 @@ func TestPowerMonotoneInEffect(t *testing.T) {
 
 func TestPowerNullRespectsAlpha(t *testing.T) {
 	d := table1ishDesign()
-	p0, err := d.Power(0, 0.06, 80, 2)
+	p0, err := d.Power(context.Background(), parallel.Pool{}, 0, 0.06, 80, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +50,7 @@ func TestPowerNullRespectsAlpha(t *testing.T) {
 
 func TestMinDetectableEffect(t *testing.T) {
 	d := table1ishDesign()
-	mde, err := d.MinDetectableEffect(0.06, 0.8, 8, 40, 3)
+	mde, err := d.MinDetectableEffect(context.Background(), parallel.Pool{}, 0.06, 0.8, 8, 40, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,10 +60,10 @@ func TestMinDetectableEffect(t *testing.T) {
 	// The Table 1 verdict in context: effects below the MDE (paper saw
 	// ±0.1–3 ms on several units) are expected to be "not significant".
 	t.Logf("minimum detectable effect at 80%% power: %.2f ms", mde)
-	if _, err := d.MinDetectableEffect(0.06, 1.5, 8, 10, 3); err == nil {
+	if _, err := d.MinDetectableEffect(context.Background(), parallel.Pool{}, 0.06, 1.5, 8, 10, 3); err == nil {
 		t.Fatal("bad target accepted")
 	}
-	if _, err := d.MinDetectableEffect(0.06, 0.9, 0.01, 10, 3); err == nil {
+	if _, err := d.MinDetectableEffect(context.Background(), parallel.Pool{}, 0.06, 0.9, 0.01, 10, 3); err == nil {
 		t.Fatal("unreachable target accepted")
 	}
 }
@@ -74,7 +76,7 @@ func TestDesignValidation(t *testing.T) {
 		{Donors: 5, PrePeriods: 10, PostPeriods: 10, UnitNoise: -1},
 	}
 	for i, d := range bad {
-		if _, err := d.Power(1, 0.05, 5, 1); err == nil {
+		if _, err := d.Power(context.Background(), parallel.Pool{}, 1, 0.05, 5, 1); err == nil {
 			t.Fatalf("bad design %d accepted", i)
 		}
 	}

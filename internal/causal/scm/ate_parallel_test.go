@@ -1,6 +1,7 @@
 package scm
 
 import (
+	"context"
 	"testing"
 
 	"sisyphus/internal/mathx"
@@ -25,11 +26,10 @@ func TestATEWorkerInvariance(t *testing.T) {
 		return m
 	}
 	m := build()
+	ctx := context.Background()
 	var got []float64
 	for _, workers := range []int{1, 4, 16} {
-		restore := parallel.SetWorkers(workers)
-		ate, err := m.ATE(mathx.NewRNG(77), "R", 0, 1, "L", 4000)
-		restore()
+		ate, err := m.ATE(ctx, parallel.NewPool(workers), mathx.NewRNG(77), "R", 0, 1, "L", 4000)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package scm
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -196,12 +197,13 @@ func (m *Model) SampleN(r *mathx.RNG, n int) (map[string][]float64, error) {
 // ATE estimates the average treatment effect E[y | do(x=hi)] − E[y | do(x=lo)]
 // by Monte Carlo with n draws per arm.
 //
-// Draws shard across the worker pool. Each draw i consumes its own RNG
-// stream, pre-split from r in index order before dispatch (the DESIGN.md
+// Draws shard across pool. Each draw i consumes its own RNG stream,
+// pre-split from r in index order before dispatch (the DESIGN.md
 // determinism rule), and the per-draw contributions are summed in index
 // order afterwards — so the estimate is bit-identical for any worker count,
-// including the sequential Workers()==1 path.
-func (m *Model) ATE(r *mathx.RNG, x string, lo, hi float64, y string, n int) (float64, error) {
+// including the sequential width-1 path. Cancelling ctx stops scheduling
+// further draws and returns ctx.Err().
+func (m *Model) ATE(ctx context.Context, pool parallel.Pool, r *mathx.RNG, x string, lo, hi float64, y string, n int) (float64, error) {
 	if err := m.validate(); err != nil {
 		return 0, err
 	}
@@ -212,7 +214,7 @@ func (m *Model) ATE(r *mathx.RNG, x string, lo, hi float64, y string, n int) (fl
 	doHi := map[string]float64{x: hi}
 	doLo := map[string]float64{x: lo}
 	type arms struct{ hi, lo float64 }
-	draws, err := parallel.Map(n, func(i int) (arms, error) {
+	draws, err := parallel.Map(ctx, pool, n, func(i int) (arms, error) {
 		a, err := m.sample(rngs[i], doHi)
 		if err != nil {
 			return arms{}, err

@@ -1,6 +1,7 @@
 package scm
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -8,6 +9,7 @@ import (
 	"sisyphus/internal/causal/dag"
 	"sisyphus/internal/causal/data"
 	"sisyphus/internal/mathx"
+	"sisyphus/internal/parallel"
 )
 
 // runningExample builds the paper's C → {R, L}, R → L model with known
@@ -77,7 +79,7 @@ func TestDoBreaksConfounding(t *testing.T) {
 	r := mathx.NewRNG(7)
 	// Under do(R=r0), R no longer depends on C; corr(C, R) must be 0 and
 	// E[L | do(R=1)] - E[L | do(R=0)] must equal the structural coefficient 5.
-	ate, err := m.ATE(r, "R", 0, 1, "L", 20000)
+	ate, err := m.ATE(context.Background(), parallel.Pool{}, r, "R", 0, 1, "L", 20000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +243,7 @@ func TestFitLinearRecoversCoefficients(t *testing.T) {
 		t.Fatalf("fitted R~C coefficient = %v want 0.8", c)
 	}
 	// ATE from the fitted model should match the structural truth.
-	ate, err := fit.ATE(mathx.NewRNG(12), "R", 0, 1, "L", 5000)
+	ate, err := fit.ATE(context.Background(), parallel.Pool{}, mathx.NewRNG(12), "R", 0, 1, "L", 5000)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"sisyphus/internal/mathx"
+	"sisyphus/internal/parallel"
 )
 
 // Panel is an outcome panel: one row per unit, one column per time period.
@@ -90,6 +91,9 @@ type Config struct {
 	// MinPre is the minimum number of pre-treatment periods required;
 	// 0 means 4.
 	MinPre int
+	// Pool shards PlaceboTest's donor refits. The zero value is the default
+	// pool; estimates are bit-identical at any width.
+	Pool parallel.Pool
 }
 
 func (c Config) withDefaults() Config {

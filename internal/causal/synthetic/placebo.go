@@ -1,6 +1,7 @@
 package synthetic
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -39,7 +40,13 @@ type PlaceboResult struct {
 // PlaceboTest runs the full placebo analysis for the treated unit. Placebos
 // are fit on the panel with the genuinely treated unit removed, so its
 // post-treatment behaviour cannot contaminate placebo donor pools.
-func PlaceboTest(p *Panel, treated string, t0 int, cfg Config) (*PlaceboResult, error) {
+//
+// The placebo refits shard across cfg.Pool; cancelling ctx stops scheduling
+// further fits and returns ctx.Err() with no result.
+func PlaceboTest(ctx context.Context, p *Panel, treated string, t0 int, cfg Config) (*PlaceboResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	real, err := Fit(p, treated, t0, cfg)
 	if err != nil {
 		return nil, err
@@ -77,13 +84,18 @@ func PlaceboTest(p *Panel, treated string, t0 int, cfg Config) (*PlaceboResult, 
 		ratio   float64
 		skipped bool
 	}
-	fits, _ := parallel.Map(len(donorUnits), func(i int) (placeboFit, error) {
+	fits, err := parallel.Map(ctx, cfg.Pool, len(donorUnits), func(i int) (placeboFit, error) {
 		res, err := Fit(subPanel, donorUnits[i], t0, cfg)
 		if err != nil || math.IsNaN(res.RMSERatio) {
 			return placeboFit{skipped: true}, nil
 		}
 		return placeboFit{ratio: res.RMSERatio}, nil
 	})
+	if err != nil {
+		// Individual fit failures are folded into Skipped above; the only
+		// error Map can surface here is the context's.
+		return nil, err
+	}
 
 	ratios := make(map[string]float64, len(donorUnits))
 	var skipped []string

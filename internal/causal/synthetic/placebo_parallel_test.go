@@ -1,6 +1,7 @@
 package synthetic
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"testing"
@@ -16,13 +17,9 @@ func TestPlaceboParallelBitIdentity(t *testing.T) {
 		for seed := uint64(0); seed < 3; seed++ {
 			p := factorPanel(200+seed, 12, 60, 45, -5, 1.0)
 
-			restore := parallel.SetWorkers(1)
-			seq, seqErr := PlaceboTest(p, "a", 45, Config{Method: method})
-			restore()
-
-			restore = parallel.SetWorkers(8)
-			par, parErr := PlaceboTest(p, "a", 45, Config{Method: method})
-			restore()
+			ctx := context.Background()
+			seq, seqErr := PlaceboTest(ctx, p, "a", 45, Config{Method: method, Pool: parallel.NewPool(1)})
+			par, parErr := PlaceboTest(ctx, p, "a", 45, Config{Method: method, Pool: parallel.NewPool(8)})
 
 			if (seqErr == nil) != (parErr == nil) {
 				t.Fatalf("method %v seed %d: error mismatch: %v vs %v", method, seed, seqErr, parErr)

@@ -1,6 +1,7 @@
 package synthetic
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -185,7 +186,7 @@ func TestFitErrors(t *testing.T) {
 
 func TestPlaceboPValueSignificantForLargeEffect(t *testing.T) {
 	p := factorPanel(5, 20, 80, 60, -8, 0.3)
-	pr, err := PlaceboTest(p, "a", 60, Config{Method: Classic})
+	pr, err := PlaceboTest(context.Background(), p, "a", 60, Config{Method: Classic})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func TestPlaceboPValueSignificantForLargeEffect(t *testing.T) {
 
 func TestPlaceboPValueLargeUnderNull(t *testing.T) {
 	p := factorPanel(6, 16, 80, 60, 0, 0.5)
-	pr, err := PlaceboTest(p, "a", 60, Config{Method: Classic})
+	pr, err := PlaceboTest(context.Background(), p, "a", 60, Config{Method: Classic})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestPlaceboPValueLargeUnderNull(t *testing.T) {
 func TestPlaceboPValueBounds(t *testing.T) {
 	f := func(seed uint64) bool {
 		p := factorPanel(seed, 8, 40, 30, 1, 0.8)
-		pr, err := PlaceboTest(p, "a", 30, Config{Method: Classic})
+		pr, err := PlaceboTest(context.Background(), p, "a", 30, Config{Method: Classic})
 		if err != nil {
 			return true
 		}

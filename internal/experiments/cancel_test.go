@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sisyphus/internal/parallel"
+)
+
+// TestRunAllPreCancelled: a context that is already dead must short-circuit
+// the whole suite — ctx.Err() back, no experiment ran, no outcome carries a
+// result.
+func TestRunAllPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	outs, err := RunAll(ctx, Config{Seed: 1, Pool: parallel.Pool{}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v want context.Canceled", err)
+	}
+	if len(outs) != len(All()) {
+		t.Fatalf("outcomes = %d want %d (identity preserved even when nothing ran)", len(outs), len(All()))
+	}
+	for _, oc := range outs {
+		if oc.Exp.ID == "" {
+			t.Fatal("outcome lost its experiment identity")
+		}
+		if oc.Res != nil {
+			t.Fatalf("%s produced a result under a pre-cancelled context", oc.Exp.ID)
+		}
+		if oc.Err != nil && !errors.Is(oc.Err, context.Canceled) {
+			t.Fatalf("%s: err = %v want nil or context.Canceled", oc.Exp.ID, oc.Err)
+		}
+	}
+}
+
+// TestTable1PreCancelled: the pipeline's first stage boundary must reject a
+// dead context before any simulation, probing, or platform-store write
+// happens — nil result, ctx.Err() out.
+func TestTable1PreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	res, err := RunTable1(ctx, parallel.Pool{}, experimentsTable1Config())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("got a partial result %+v from a pre-cancelled run", res)
+	}
+}
+
+// TestEveryExperimentHonorsPreCancelledContext sweeps the registry: each
+// experiment, run through the same entry point the CLI uses, must return
+// ctx.Err() (possibly wrapped) and no result when the context is already
+// cancelled.
+func TestEveryExperimentHonorsPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	for _, e := range All() {
+		res, err := e.Run(ctx, Config{Seed: 1, Pool: parallel.Pool{}})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v want context.Canceled", e.ID, err)
+		}
+		if res != nil {
+			t.Fatalf("%s returned a result under a pre-cancelled context", e.ID)
+		}
+	}
+}
+
+// TestRunAllTimeoutMidSuite: a deadline that expires while the suite is in
+// flight must surface as DeadlineExceeded within a stage boundary, with
+// every outcome either untouched (never scheduled) or carrying the context
+// error — never a half-built result.
+func TestRunAllTimeoutMidSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts real experiment work before the deadline fires")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+
+	outs, err := RunAll(ctx, Config{Seed: 1, Pool: parallel.NewPool(2)})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v want context.DeadlineExceeded", err)
+	}
+	for _, oc := range outs {
+		if oc.Res != nil {
+			// An experiment that beat the deadline is fine; it must be whole.
+			if oc.Res.Render() == "" {
+				t.Fatalf("%s completed with an empty rendering", oc.Exp.ID)
+			}
+			continue
+		}
+		if oc.Err != nil && !errors.Is(oc.Err, context.DeadlineExceeded) && !errors.Is(oc.Err, context.Canceled) {
+			t.Fatalf("%s: non-context error under timeout: %v", oc.Exp.ID, oc.Err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sisyphus/internal/causal/data"
@@ -8,6 +9,13 @@ import (
 	"sisyphus/internal/causal/scm"
 	"sisyphus/internal/mathx"
 )
+
+// CellularOptions sizes the cellular confounding box's sample.
+type CellularOptions struct {
+	N int // sessions to draw from the structural model
+}
+
+func (CellularOptions) experimentOptions() {}
 
 // CellularResult reproduces the §3 confounding box: the SIGCOMM'21 cellular
 // reliability finding that failure rates are *higher* at the strongest
@@ -43,7 +51,10 @@ func (r *CellularResult) Render() string {
 // = 0.5·interference − 0.3·signal + u. Signal *reduces* failure (−0.3),
 // but density raises both signal and failure, so the marginal association
 // is positive.
-func RunCellular(seed uint64, n int) (*CellularResult, error) {
+func RunCellular(ctx context.Context, seed uint64, n int) (*CellularResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if n <= 0 {
 		n = 20000
 	}
@@ -128,11 +139,17 @@ func RunCellular(seed uint64, n int) (*CellularResult, error) {
 }
 
 func init() {
+	defaults := CellularOptions{N: 20000}
 	register(Experiment{
-		ID:    "cellular",
-		Paper: "§3 confounding box: deployment density confounds signal strength and failures",
-		Run: func(seed uint64) (Renderable, error) {
-			return RunCellular(seed, 20000)
+		ID:       "cellular",
+		Paper:    "§3 confounding box: deployment density confounds signal strength and failures",
+		Defaults: defaults,
+		Run: func(ctx context.Context, cfg Config) (Renderable, error) {
+			o, err := optionsOr(cfg, defaults)
+			if err != nil {
+				return nil, err
+			}
+			return RunCellular(ctx, cfg.Seed, o.N)
 		},
 	})
 }

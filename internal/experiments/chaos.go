@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"sisyphus/internal/causal/synthetic"
 	"sisyphus/internal/faults"
+	"sisyphus/internal/parallel"
+	"sisyphus/internal/pipeline"
 	"sisyphus/internal/probe"
 )
 
@@ -93,19 +96,43 @@ as such instead of emitting a number.
 // deliberately brutal — the pipeline must report collapse there, not crash.
 var chaosIntensities = []float64{0, 0.05, 0.1, 0.2, 0.4, 0.8}
 
+// ChaosOptions parameterizes the E15 degradation sweep.
+type ChaosOptions struct {
+	// Weeks and JoinWeek shape the underlying Table 1 world at each level.
+	Weeks, JoinWeek int
+	// Intensities is the fault grid to sweep (default chaosIntensities).
+	// The fault-free base level must come first: p-value shifts are measured
+	// against the first level's placebo ranks.
+	Intensities []float64
+}
+
+func (ChaosOptions) experimentOptions() {}
+
+// chaosDefaults are the registered E15 options.
+var chaosDefaults = ChaosOptions{Weeks: 4, JoinWeek: 2, Intensities: chaosIntensities}
+
 // RunChaos sweeps fault intensity and reruns the Table 1 estimator at each
-// level, comparing estimates against the simulator's ground truth.
-func RunChaos(seed uint64) (*ChaosResult, error) {
+// level, comparing estimates against the simulator's ground truth. Each
+// sweep level is a cancellation barrier (on top of the per-stage barriers
+// inside the Table 1 pipeline it drives), so cancelling ctx abandons the
+// sweep between levels with ctx.Err().
+func RunChaos(ctx context.Context, pool parallel.Pool, seed uint64, o ChaosOptions) (*ChaosResult, error) {
+	if len(o.Intensities) == 0 {
+		o.Intensities = chaosIntensities
+	}
 	res := &ChaosResult{Seed: seed}
 	var basePValues map[string]float64
-	for _, intensity := range chaosIntensities {
+	for _, intensity := range o.Intensities {
+		if err := pipeline.Guard(ctx, fmt.Sprintf("chaos/level-%.2f", intensity)); err != nil {
+			return nil, err
+		}
 		fc := faults.Scaled(seed+1000, intensity)
 		cfg := Table1Config{
-			Weeks: 4, JoinWeek: 2, Seed: seed, Method: synthetic.Robust,
+			Weeks: o.Weeks, JoinWeek: o.JoinWeek, Seed: seed, Method: synthetic.Robust,
 			WithTruth: true, Faults: &fc,
 			Retry: probe.RetryPolicy{MaxAttempts: 2},
 		}
-		t1, err := RunTable1(cfg)
+		t1, err := RunTable1(ctx, pool, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: chaos intensity %.2f: %w", intensity, err)
 		}
@@ -171,10 +198,15 @@ func RunChaos(seed uint64) (*ChaosResult, error) {
 
 func init() {
 	register(Experiment{
-		ID:    "chaos",
-		Paper: "E15: degradation curves — Table 1 estimator under injected measurement faults",
-		Run: func(seed uint64) (Renderable, error) {
-			return RunChaos(seed)
+		ID:       "chaos",
+		Paper:    "E15: degradation curves — Table 1 estimator under injected measurement faults",
+		Defaults: chaosDefaults,
+		Run: func(ctx context.Context, cfg Config) (Renderable, error) {
+			o, err := optionsOr(cfg, chaosDefaults)
+			if err != nil {
+				return nil, err
+			}
+			return RunChaos(ctx, cfg.Pool, cfg.Seed, o)
 		},
 	})
 }

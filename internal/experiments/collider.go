@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sisyphus/internal/causal/dag"
@@ -8,6 +9,7 @@ import (
 	"sisyphus/internal/netsim/engine"
 	"sisyphus/internal/netsim/topo"
 	"sisyphus/internal/netsim/traffic"
+	"sisyphus/internal/parallel"
 	"sisyphus/internal/platform"
 	"sisyphus/internal/probe"
 )
@@ -56,7 +58,7 @@ func (r *ColliderResult) Render() string {
 // paths to the content are symmetric, and an operator flips preference at
 // exogenous random times. Congestion noise degrades RTT independently.
 // Both events raise the probability that users run speed tests.
-func RunCollider(seed uint64, hours int) (*ColliderResult, error) {
+func RunCollider(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*ColliderResult, error) {
 	if hours <= 0 {
 		hours = 2000
 	}
@@ -75,7 +77,7 @@ func RunCollider(seed uint64, hours int) (*ColliderResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := engine.New(tp, seed, engine.Config{})
+	e := engine.New(tp, seed, engine.Config{Pool: pool}).Bind(ctx)
 	pr := probe.NewProber(e, seed+1)
 	src, err := tp.FindPoP(7000, "Johannesburg")
 	if err != nil {
@@ -119,6 +121,9 @@ func RunCollider(seed uint64, hours int) (*ColliderResult, error) {
 
 	var change, degraded, tested []float64
 	for e.Hour() < float64(hours) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := e.Step(); err != nil {
 			return nil, err
 		}
@@ -179,11 +184,17 @@ func condMean(y, cond []float64, v float64) float64 {
 }
 
 func init() {
+	defaults := HorizonOptions{Hours: 2000}
 	register(Experiment{
-		ID:    "collider",
-		Paper: "§3 collider box: speed-test selection bias",
-		Run: func(seed uint64) (Renderable, error) {
-			return RunCollider(seed, 2000)
+		ID:       "collider",
+		Paper:    "§3 collider box: speed-test selection bias",
+		Defaults: defaults,
+		Run: func(ctx context.Context, cfg Config) (Renderable, error) {
+			o, err := optionsOr(cfg, defaults)
+			if err != nil {
+				return nil, err
+			}
+			return RunCollider(ctx, cfg.Pool, cfg.Seed, o.Hours)
 		},
 	})
 }

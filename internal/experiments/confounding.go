@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sisyphus/internal/causal/dag"
@@ -12,6 +13,7 @@ import (
 	"sisyphus/internal/netsim/scenario"
 	"sisyphus/internal/netsim/topo"
 	"sisyphus/internal/netsim/traffic"
+	"sisyphus/internal/parallel"
 )
 
 // ConfoundingResult reproduces the §3 running example: congestion C causes
@@ -49,7 +51,7 @@ func (r *ConfoundingResult) Render() string {
 // congestion inflates RTT. It compares naive, stratified, regression and
 // IPW estimates of the route's effect against the simulator's ground truth
 // obtained by pinning the route both ways at every sampled hour.
-func RunConfounding(seed uint64, hours int) (*ConfoundingResult, error) {
+func RunConfounding(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*ConfoundingResult, error) {
 	if hours <= 0 {
 		hours = 1500
 	}
@@ -57,7 +59,7 @@ func RunConfounding(seed uint64, hours int) (*ConfoundingResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := engine.New(s.Topo, seed, engine.Config{AdaptiveEgress: true})
+	e := engine.New(s.Topo, seed, engine.Config{AdaptiveEgress: true, Pool: pool}).Bind(ctx)
 
 	// AS3741's content routes prefer Transit-A (shorter path, lower ASN), so
 	// Transit-A is the primary egress. Recurring flash crowds on that link
@@ -93,6 +95,9 @@ func RunConfounding(seed uint64, hours int) (*ConfoundingResult, error) {
 	var trueN int
 	altShare := 0.0
 	for e.Hour() < float64(hours) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := e.Step(); err != nil {
 			return nil, err
 		}
@@ -238,11 +243,17 @@ func pathStrings(ps []dag.Path) []string {
 }
 
 func init() {
+	defaults := HorizonOptions{Hours: 1500}
 	register(Experiment{
-		ID:    "confounding",
-		Paper: "§3 running example: adjusting for congestion when estimating route → latency",
-		Run: func(seed uint64) (Renderable, error) {
-			return RunConfounding(seed, 1500)
+		ID:       "confounding",
+		Paper:    "§3 running example: adjusting for congestion when estimating route → latency",
+		Defaults: defaults,
+		Run: func(ctx context.Context, cfg Config) (Renderable, error) {
+			o, err := optionsOr(cfg, defaults)
+			if err != nil {
+				return nil, err
+			}
+			return RunConfounding(ctx, cfg.Pool, cfg.Seed, o.Hours)
 		},
 	})
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -11,6 +12,7 @@ import (
 	"sisyphus/internal/netsim/engine"
 	"sisyphus/internal/netsim/scenario"
 	"sisyphus/internal/netsim/traffic"
+	"sisyphus/internal/parallel"
 )
 
 // CounterfactualResult reproduces §3's counterfactual discussion: a user's
@@ -44,7 +46,7 @@ func (r *CounterfactualResult) Render() string {
 // hours of the confounded world, then answers the counterfactual for a
 // specific degraded hour where an exogenous policy event rerouted traffic.
 // The simulator replays the identical world without the event for truth.
-func RunCounterfactual(seed uint64, hours int) (*CounterfactualResult, error) {
+func RunCounterfactual(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*CounterfactualResult, error) {
 	if hours <= 0 {
 		hours = 1200
 	}
@@ -55,7 +57,7 @@ func RunCounterfactual(seed uint64, hours int) (*CounterfactualResult, error) {
 		if err != nil {
 			return nil, nil, nil, nil, err
 		}
-		e := engine.New(s.Topo, seed, engine.Config{})
+		e := engine.New(s.Topo, seed, engine.Config{Pool: pool}).Bind(ctx)
 		rel, err := s.Topo.Relationships()
 		if err != nil {
 			return nil, nil, nil, nil, err
@@ -95,6 +97,9 @@ func RunCounterfactual(seed uint64, hours int) (*CounterfactualResult, error) {
 		}
 		var cCol, rCol, lCol []float64
 		for e.Hour() < float64(hours) {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, nil, nil, err
+			}
 			if err := e.Step(); err != nil {
 				return nil, nil, nil, nil, err
 			}
@@ -167,11 +172,17 @@ func RunCounterfactual(seed uint64, hours int) (*CounterfactualResult, error) {
 }
 
 func init() {
+	defaults := HorizonOptions{Hours: 1200}
 	register(Experiment{
-		ID:    "counterfactual",
-		Paper: "§3 counterfactual: abduction–action–prediction vs ground-truth replay",
-		Run: func(seed uint64) (Renderable, error) {
-			return RunCounterfactual(seed, 1200)
+		ID:       "counterfactual",
+		Paper:    "§3 counterfactual: abduction–action–prediction vs ground-truth replay",
+		Defaults: defaults,
+		Run: func(ctx context.Context, cfg Config) (Renderable, error) {
+			o, err := optionsOr(cfg, defaults)
+			if err != nil {
+				return nil, err
+			}
+			return RunCounterfactual(ctx, cfg.Pool, cfg.Seed, o.Hours)
 		},
 	})
 }

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sisyphus/internal/causal/data"
 	"sisyphus/internal/causal/estimate"
 	"sisyphus/internal/netsim/engine"
 	"sisyphus/internal/netsim/scenario"
+	"sisyphus/internal/parallel"
 	"sisyphus/internal/platform"
 	"sisyphus/internal/probe"
 )
@@ -38,9 +40,9 @@ func (r *DiDResult) Render() string {
 }
 
 // RunDiD executes Table 1's data collection once and analyzes it two ways.
-func RunDiD(seed uint64) (*DiDResult, error) {
+func RunDiD(ctx context.Context, pool parallel.Pool, seed uint64) (*DiDResult, error) {
 	cfg := Table1Config{Weeks: 4, JoinWeek: 2, Seed: seed, WithTruth: true}
-	t1, err := RunTable1(cfg)
+	t1, err := RunTable1(ctx, pool, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -64,7 +66,7 @@ func RunDiD(seed uint64) (*DiDResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := engine.New(s.Topo, cfg.Seed, engine.Config{AdaptiveEgress: true})
+	e := engine.New(s.Topo, cfg.Seed, engine.Config{AdaptiveEgress: true, Pool: pool}).Bind(ctx)
 	pr := probe.NewProber(e, cfg.Seed+1)
 	joinHour := float64(cfg.JoinWeek) * 7 * 24
 	for _, asn := range s.TreatedASNs {
@@ -83,6 +85,9 @@ func RunDiD(seed uint64) (*DiDResult, error) {
 	store := platform.NewStore()
 	total := float64(cfg.Weeks) * 7 * 24
 	for e.Hour() < total {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := e.Step(); err != nil {
 			return nil, err
 		}
@@ -134,8 +139,11 @@ func init() {
 	register(Experiment{
 		ID:    "did",
 		Paper: "methodological contrast: pooled DiD vs per-unit synthetic control on Table 1 data",
-		Run: func(seed uint64) (Renderable, error) {
-			return RunDiD(seed)
+		Run: func(ctx context.Context, cfg Config) (Renderable, error) {
+			if err := noOptions("did", cfg); err != nil {
+				return nil, err
+			}
+			return RunDiD(ctx, cfg.Pool, cfg.Seed)
 		},
 	})
 }

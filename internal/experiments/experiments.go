@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -15,11 +16,86 @@ import (
 	"sisyphus/internal/parallel"
 )
 
+// Options is the marker interface for per-experiment typed options (trial
+// counts, horizon hours, sweep grids). Each experiment declares its own
+// options struct; the unexported method keeps arbitrary types out of
+// Config.Opts so a mismatch is always a typed, reportable error.
+type Options interface {
+	experimentOptions()
+}
+
+// Config carries everything an experiment run needs besides the context:
+// the seed all randomness derives from, the worker pool every internal
+// fan-out shards over, and optional typed options. The zero value is valid
+// (seed 0, default-width pool, registered default options).
+type Config struct {
+	// Seed is the root of every RNG stream the experiment consumes.
+	Seed uint64
+	// Pool shards the experiment's internal parallelism (placebo fits, BGP
+	// propagation, Monte-Carlo trials). Experiments are bit-identical at
+	// any width.
+	Pool parallel.Pool
+	// Opts are the experiment's typed options; nil runs the registered
+	// defaults (Experiment.Defaults). Passing options of another
+	// experiment's type is an error.
+	Opts Options
+	// Only, consumed by RunAll, restricts the suite to these experiment
+	// IDs (nil means all). Unknown IDs are an error.
+	Only []string
+}
+
+// optionsOr returns cfg.Opts as T when set, or def when unset.
+func optionsOr[T Options](cfg Config, def T) (T, error) {
+	if cfg.Opts == nil {
+		return def, nil
+	}
+	v, ok := cfg.Opts.(T)
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("experiments: options are %T, want %T", cfg.Opts, zero)
+	}
+	return v, nil
+}
+
+// noOptions rejects stray options on experiments that take none, so a typo'd
+// Opts is a typed error rather than silently ignored.
+func noOptions(id string, cfg Config) error {
+	if cfg.Opts != nil {
+		return fmt.Errorf("experiments: %s takes no options, got %T", id, cfg.Opts)
+	}
+	return nil
+}
+
+// HorizonOptions is the shared options type for the single-knob simulation
+// experiments (confounding, collider, mlab, instrument, intent,
+// counterfactual, familyknob): how many simulated hours to run. Each
+// experiment registers its own default horizon.
+type HorizonOptions struct {
+	Hours int
+}
+
+func (HorizonOptions) experimentOptions() {}
+
 // Experiment is a runnable reproduction unit.
 type Experiment struct {
 	ID    string // e.g. "table1"
 	Paper string // which paper element it reproduces
-	Run   func(seed uint64) (Renderable, error)
+	// Defaults holds the registered default options — what Run uses when
+	// cfg.Opts is nil, and what `sisyphus -all` runs. Exposed so callers
+	// can start from the defaults and tweak one knob.
+	Defaults Options
+	// Run executes the experiment. It honors ctx (cancellation surfaces as
+	// ctx.Err() within one pipeline-stage boundary) and derives all
+	// randomness from cfg.Seed, so equal (seed, options) give bit-identical
+	// results at any pool width.
+	Run func(ctx context.Context, cfg Config) (Renderable, error)
+}
+
+// Header renders the experiment's suite-output section header (trailing
+// blank line included), shared by the CLI and the golden tests so the two
+// can never drift.
+func (e Experiment) Header() string {
+	return fmt.Sprintf("=== %s: %s ===\n\n", e.ID, e.Paper)
 }
 
 // Renderable is any experiment result that can print itself.
@@ -33,6 +109,17 @@ var registry = map[string]Experiment{}
 func register(e Experiment) {
 	if _, dup := registry[e.ID]; dup {
 		panic("experiments: duplicate id " + e.ID)
+	}
+	// Registered runners return concrete result pointers; a failed run would
+	// otherwise surface as a typed-nil Renderable that compares non-nil.
+	// Normalize here so callers can rely on exactly one of (result, error).
+	run := e.Run
+	e.Run = func(ctx context.Context, cfg Config) (Renderable, error) {
+		res, err := run(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
 	}
 	registry[e.ID] = e
 }
@@ -73,20 +160,57 @@ type RunOutcome struct {
 	Err error
 }
 
-// RunAll runs every registered experiment with the same seed and returns
-// outcomes in ID order. The experiments are independent — each builds its
-// own simulator world from the seed — so they fan out across the worker
-// pool; every experiment derives its randomness from the seed alone, never
-// from shared state, so each outcome is bit-identical to a sequential run.
-// Unlike a sequential stop-at-first-failure loop, all experiments run even
-// if one fails; callers decide how to report per-experiment errors.
-func RunAll(seed uint64) []RunOutcome {
+// Completed reports whether the experiment actually ran: a cancelled suite
+// leaves unscheduled outcomes with neither a result nor an error.
+func (o RunOutcome) Completed() bool { return o.Res != nil || o.Err != nil }
+
+// RunAll runs the suite — every registered experiment, or cfg.Only — with
+// the same seed and returns outcomes in ID order. The experiments are
+// independent — each builds its own simulator world from the seed — so they
+// fan out across cfg.Pool; every experiment derives its randomness from the
+// seed alone, never from shared state, so each outcome is bit-identical to
+// a sequential run. Unlike a sequential stop-at-first-failure loop, all
+// experiments run even if one fails; callers decide how to report
+// per-experiment errors (a failed experiment is an Err on its outcome, not
+// an error from RunAll).
+//
+// Cancelling ctx stops scheduling further experiments: RunAll returns
+// ctx.Err() alongside the outcome slice, in which outcomes that never ran
+// report Completed() == false. cfg.Opts is ignored — suite runs use each
+// experiment's registered defaults.
+func RunAll(ctx context.Context, cfg Config) ([]RunOutcome, error) {
 	exps := All()
-	out, _ := parallel.Map(len(exps), func(i int) (RunOutcome, error) {
-		res, err := exps[i].Run(seed)
-		return RunOutcome{Exp: exps[i], Res: res, Err: err}, nil
+	if len(cfg.Only) > 0 {
+		picked := make([]Experiment, 0, len(cfg.Only))
+		seen := make(map[string]bool, len(cfg.Only))
+		for _, id := range cfg.Only {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			e, err := Get(id)
+			if err != nil {
+				return nil, err
+			}
+			picked = append(picked, e)
+		}
+		sort.Slice(picked, func(i, j int) bool { return picked[i].ID < picked[j].ID })
+		exps = picked
+	}
+	runCfg := Config{Seed: cfg.Seed, Pool: cfg.Pool}
+	out, err := parallel.Map(ctx, cfg.Pool, len(exps), func(i int) (RunOutcome, error) {
+		res, rerr := exps[i].Run(ctx, runCfg)
+		return RunOutcome{Exp: exps[i], Res: res, Err: rerr}, nil
 	})
-	return out
+	// Map's zero-valued slots (unscheduled after cancellation) would lose
+	// the experiment identity; restore it so callers can report which
+	// experiments never ran.
+	for i := range out {
+		if out[i].Exp.ID == "" {
+			out[i].Exp = exps[i]
+		}
+	}
+	return out, err
 }
 
 // table renders an aligned text table.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -8,6 +9,7 @@ import (
 	"sisyphus/internal/causal/synthetic"
 	"sisyphus/internal/netsim/scenario"
 	"sisyphus/internal/netsim/topo"
+	"sisyphus/internal/parallel"
 )
 
 func TestRegistryListsAllExperiments(t *testing.T) {
@@ -48,7 +50,7 @@ func TestTableRenderer(t *testing.T) {
 }
 
 func TestTable1ShapeMatchesPaper(t *testing.T) {
-	res, err := RunTable1(Table1Config{Weeks: 4, JoinWeek: 2, Seed: 1, Method: synthetic.Robust, WithTruth: true})
+	res, err := RunTable1(context.Background(), parallel.Pool{}, Table1Config{Weeks: 4, JoinWeek: 2, Seed: 1, Method: synthetic.Robust, WithTruth: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +101,7 @@ func TestTable1ShapeMatchesPaper(t *testing.T) {
 
 func TestTable1DetectsTreatmentFromHops(t *testing.T) {
 	// With no join scheduled (JoinWeek beyond the horizon), nothing crosses.
-	res, err := RunTable1(Table1Config{Weeks: 2, JoinWeek: 8, Seed: 2, Method: synthetic.Robust})
+	res, err := RunTable1(context.Background(), parallel.Pool{}, Table1Config{Weeks: 2, JoinWeek: 8, Seed: 2, Method: synthetic.Robust})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +113,7 @@ func TestTable1DetectsTreatmentFromHops(t *testing.T) {
 }
 
 func TestConfoundingRecoversGroundTruth(t *testing.T) {
-	res, err := RunConfounding(7, 900)
+	res, err := RunConfounding(context.Background(), parallel.Pool{}, 7, 900)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +135,7 @@ func TestConfoundingRecoversGroundTruth(t *testing.T) {
 }
 
 func TestColliderFabricatesAssociation(t *testing.T) {
-	res, err := RunCollider(7, 2500)
+	res, err := RunCollider(context.Background(), parallel.Pool{}, 7, 2500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +157,7 @@ func TestColliderFabricatesAssociation(t *testing.T) {
 }
 
 func TestCellularSignReversal(t *testing.T) {
-	res, err := RunCellular(7, 20000)
+	res, err := RunCellular(context.Background(), 7, 20000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +173,7 @@ func TestCellularSignReversal(t *testing.T) {
 }
 
 func TestMLabRandomizationUnbiased(t *testing.T) {
-	res, err := RunMLab(7, 1500)
+	res, err := RunMLab(context.Background(), parallel.Pool{}, 7, 1500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +188,7 @@ func TestMLabRandomizationUnbiased(t *testing.T) {
 }
 
 func TestInstrumentValidBeatsInvalid(t *testing.T) {
-	res, err := RunInstrument(7, 1500)
+	res, err := RunInstrument(context.Background(), parallel.Pool{}, 7, 1500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +213,7 @@ func TestInstrumentValidBeatsInvalid(t *testing.T) {
 }
 
 func TestCounterfactualAgreesWithReplay(t *testing.T) {
-	res, err := RunCounterfactual(7, 800)
+	res, err := RunCounterfactual(context.Background(), parallel.Pool{}, 7, 800)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +232,7 @@ func TestCounterfactualAgreesWithReplay(t *testing.T) {
 }
 
 func TestExposureIsNotImpact(t *testing.T) {
-	res, err := RunExposure(7)
+	res, err := RunExposure(context.Background(), parallel.Pool{}, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +256,7 @@ func TestExposureIsNotImpact(t *testing.T) {
 }
 
 func TestIntentTagsSeparateBias(t *testing.T) {
-	res, err := RunIntent(7, 1200)
+	res, err := RunIntent(context.Background(), parallel.Pool{}, 7, 1200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +286,7 @@ func TestAllRegisteredExperimentsRun(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := e.Run(11)
+		res, err := e.Run(context.Background(), Config{Seed: 11})
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -295,7 +297,7 @@ func TestAllRegisteredExperimentsRun(t *testing.T) {
 }
 
 func TestRootCauseAttribution(t *testing.T) {
-	res, err := RunRootCause(5)
+	res, err := RunRootCause(context.Background(), parallel.Pool{}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +322,7 @@ func TestRootCauseAttribution(t *testing.T) {
 }
 
 func TestFamilyKnobIVMatchesTruth(t *testing.T) {
-	res, err := RunFamilyKnob(4, 700)
+	res, err := RunFamilyKnob(context.Background(), parallel.Pool{}, 4, 700)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +339,7 @@ func TestFamilyKnobIVMatchesTruth(t *testing.T) {
 }
 
 func TestDiDAndSCAgreeOnDirection(t *testing.T) {
-	res, err := RunDiD(4)
+	res, err := RunDiD(context.Background(), parallel.Pool{}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,11 +365,11 @@ func TestTable1ExcludesContaminatedDonors(t *testing.T) {
 	// Donor AS36874 (Johannesburg) secretly joins the exchange too. The
 	// pipeline must detect the crossing from its traceroutes and drop it
 	// from the donor pool rather than let a treated unit serve as control.
-	clean, err := RunTable1(Table1Config{Weeks: 3, JoinWeek: 2, Seed: 5})
+	clean, err := RunTable1(context.Background(), parallel.Pool{}, Table1Config{Weeks: 3, JoinWeek: 2, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	dirty, err := RunTable1(Table1Config{Weeks: 3, JoinWeek: 2, Seed: 5, AlsoJoin: []topo.ASN{36874}})
+	dirty, err := RunTable1(context.Background(), parallel.Pool{}, Table1Config{Weeks: 3, JoinWeek: 2, Seed: 5, AlsoJoin: []topo.ASN{36874}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +393,7 @@ func TestTable1SurvivesBackgroundLinkFlaps(t *testing.T) {
 		t.Fatal(err)
 	}
 	flap := rel.Links[scenario.BigContent][scenario.ZATransitA][1] // Durban leg
-	res, err := RunTable1(Table1Config{
+	res, err := RunTable1(context.Background(), parallel.Pool{}, Table1Config{
 		Weeks: 3, JoinWeek: 2, Seed: 6,
 		FlapLink: flap, FlapEveryHours: 72,
 	})
@@ -412,7 +414,7 @@ func TestTable1SurvivesBackgroundLinkFlaps(t *testing.T) {
 }
 
 func TestPowerCurveShape(t *testing.T) {
-	res, err := RunPower(3, 50)
+	res, err := RunPower(context.Background(), parallel.Pool{}, 3, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -435,7 +437,7 @@ func TestPowerCurveShape(t *testing.T) {
 }
 
 func TestTromboneEraContrast(t *testing.T) {
-	res, err := RunTromboneEra(5)
+	res, err := RunTromboneEra(context.Background(), parallel.Pool{}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -8,6 +9,7 @@ import (
 	"sisyphus/internal/netsim/engine"
 	"sisyphus/internal/netsim/scenario"
 	"sisyphus/internal/netsim/topo"
+	"sisyphus/internal/parallel"
 )
 
 // ExposureRow summarizes one candidate failure.
@@ -48,12 +50,12 @@ func (r *ExposureResult) Render() string {
 // RunExposure sweeps candidate link failures in the South Africa world.
 // For each: static exposure = paths crossing the link now; dynamic impact =
 // reachability and RTT after the control plane reconverges without it.
-func RunExposure(seed uint64) (*ExposureResult, error) {
+func RunExposure(ctx context.Context, pool parallel.Pool, seed uint64) (*ExposureResult, error) {
 	s, err := scenario.BuildSouthAfrica()
 	if err != nil {
 		return nil, err
 	}
-	e := engine.New(s.Topo, seed, engine.Config{})
+	e := engine.New(s.Topo, seed, engine.Config{Pool: pool}).Bind(ctx)
 	if err := e.RunUntil(12); err != nil {
 		return nil, err
 	}
@@ -108,6 +110,11 @@ func RunExposure(seed uint64) (*ExposureResult, error) {
 
 	res := &ExposureResult{Pairs: len(pairs)}
 	for _, cand := range candidates {
+		// Each candidate failure forces a full reconvergence; check between
+		// them so cancellation lands within one sweep entry.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		row := ExposureRow{Link: cand.name}
 		for _, p := range pairs {
 			if paths[p.src].CrossesLink(cand.id) {
@@ -162,8 +169,11 @@ func init() {
 	register(Experiment{
 		ID:    "exposure",
 		Paper: "§3 Xaminer box: static exposure vs post-reconvergence impact",
-		Run: func(seed uint64) (Renderable, error) {
-			return RunExposure(seed)
+		Run: func(ctx context.Context, cfg Config) (Renderable, error) {
+			if err := noOptions("exposure", cfg); err != nil {
+				return nil, err
+			}
+			return RunExposure(ctx, cfg.Pool, cfg.Seed)
 		},
 	})
 }

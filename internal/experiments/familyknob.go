@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sisyphus/internal/causal/data"
@@ -9,6 +10,7 @@ import (
 	"sisyphus/internal/netsim/engine"
 	"sisyphus/internal/netsim/scenario"
 	"sisyphus/internal/netsim/traffic"
+	"sisyphus/internal/parallel"
 	"sisyphus/internal/platform"
 	"sisyphus/internal/probe"
 )
@@ -46,7 +48,7 @@ func (r *FamilyKnobResult) Render() string {
 // default. Each hour the client flips a fair coin for the family. Because
 // the coin is independent of network state, family ⊥ congestion — a valid
 // instrument even though route choice itself is endogenous on v4.
-func RunFamilyKnob(seed uint64, hours int) (*FamilyKnobResult, error) {
+func RunFamilyKnob(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*FamilyKnobResult, error) {
 	if hours <= 0 {
 		hours = 1500
 	}
@@ -54,7 +56,7 @@ func RunFamilyKnob(seed uint64, hours int) (*FamilyKnobResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := engine.New(s.Topo, seed, engine.Config{AdaptiveEgress: true})
+	e := engine.New(s.Topo, seed, engine.Config{AdaptiveEgress: true, Pool: pool}).Bind(ctx)
 	pr := probe.NewProber(e, seed+1)
 	knobs := platform.NewKnobs(pr, seed+2)
 
@@ -88,6 +90,9 @@ func RunFamilyKnob(seed uint64, hours int) (*FamilyKnobResult, error) {
 		return u > 0.75
 	}
 	for e.Hour() < float64(hours) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := e.Step(); err != nil {
 			return nil, err
 		}
@@ -134,11 +139,17 @@ func RunFamilyKnob(seed uint64, hours int) (*FamilyKnobResult, error) {
 }
 
 func init() {
+	defaults := HorizonOptions{Hours: 1500}
 	register(Experiment{
-		ID:    "familyknob",
-		Paper: "§4 proposal 3: IPv4/IPv6 toggle as an exogenous-variation knob (instrument)",
-		Run: func(seed uint64) (Renderable, error) {
-			return RunFamilyKnob(seed, 1500)
+		ID:       "familyknob",
+		Paper:    "§4 proposal 3: IPv4/IPv6 toggle as an exogenous-variation knob (instrument)",
+		Defaults: defaults,
+		Run: func(ctx context.Context, cfg Config) (Renderable, error) {
+			o, err := optionsOr(cfg, defaults)
+			if err != nil {
+				return nil, err
+			}
+			return RunFamilyKnob(ctx, cfg.Pool, cfg.Seed, o.Hours)
 		},
 	})
 }

@@ -2,12 +2,14 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"reflect"
 	"testing"
 
 	"sisyphus/internal/faults"
+	"sisyphus/internal/parallel"
 	"sisyphus/internal/probe"
 )
 
@@ -20,8 +22,9 @@ func TestFaultRateZeroBitIdentity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("two full E1 runs")
 	}
+	ctx := context.Background()
 	plain := experimentsTable1Config()
-	bare, err := RunTable1(plain)
+	bare, err := RunTable1(ctx, parallel.Pool{}, plain)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +32,7 @@ func TestFaultRateZeroBitIdentity(t *testing.T) {
 	zeroed := plain
 	zeroed.Faults = &faults.Config{Seed: 777} // every rate zero
 	zeroed.Retry = probe.RetryPolicy{MaxAttempts: 4}
-	hooked, err := RunTable1(zeroed)
+	hooked, err := RunTable1(ctx, parallel.Pool{}, zeroed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,11 +55,9 @@ func TestChaosSweepDegradesGracefully(t *testing.T) {
 	if testing.Short() {
 		t.Skip("reruns Table 1 per intensity level")
 	}
-	saved := chaosIntensities
-	chaosIntensities = []float64{0, 0.4}
-	defer func() { chaosIntensities = saved }()
-
-	res, err := RunChaos(11)
+	o := chaosDefaults
+	o.Intensities = []float64{0, 0.4}
+	res, err := RunChaos(context.Background(), parallel.Pool{}, 11, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestRootCauseJSONRegression(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(42)
+	res, err := e.Run(context.Background(), Config{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestTable1JSONWithTruth(t *testing.T) {
 	}
 	cfg := experimentsTable1Config()
 	cfg.WithTruth = true
-	res, err := RunTable1(cfg)
+	res, err := RunTable1(context.Background(), parallel.Pool{}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sisyphus/internal/causal/dag"
@@ -10,6 +11,7 @@ import (
 	"sisyphus/internal/netsim/engine"
 	"sisyphus/internal/netsim/scenario"
 	"sisyphus/internal/netsim/traffic"
+	"sisyphus/internal/parallel"
 )
 
 // IVResult reproduces §3's natural-experiment discussion: scheduled link
@@ -44,7 +46,7 @@ func (r *IVResult) Render() string {
 // maintenance windows on the primary transit link force reroutes at
 // exogenous times — a valid instrument. A second world couples the
 // "policy flip" to flash crowds, breaking the exclusion restriction.
-func RunInstrument(seed uint64, hours int) (*IVResult, error) {
+func RunInstrument(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*IVResult, error) {
 	if hours <= 0 {
 		hours = 2000
 	}
@@ -52,7 +54,7 @@ func RunInstrument(seed uint64, hours int) (*IVResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := engine.New(s.Topo, seed, engine.Config{AdaptiveEgress: true})
+	e := engine.New(s.Topo, seed, engine.Config{AdaptiveEgress: true, Pool: pool}).Bind(ctx)
 	rel, err := s.Topo.Relationships()
 	if err != nil {
 		return nil, err
@@ -101,6 +103,9 @@ func RunInstrument(seed uint64, hours int) (*IVResult, error) {
 	var trueSum float64
 	var trueN int
 	for e.Hour() < float64(hours) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := e.Step(); err != nil {
 			return nil, err
 		}
@@ -171,11 +176,17 @@ func RunInstrument(seed uint64, hours int) (*IVResult, error) {
 }
 
 func init() {
+	defaults := HorizonOptions{Hours: 2000}
 	register(Experiment{
-		ID:    "instrument",
-		Paper: "§3 natural experiments: maintenance as a valid IV, load-coupled policy as invalid",
-		Run: func(seed uint64) (Renderable, error) {
-			return RunInstrument(seed, 2000)
+		ID:       "instrument",
+		Paper:    "§3 natural experiments: maintenance as a valid IV, load-coupled policy as invalid",
+		Defaults: defaults,
+		Run: func(ctx context.Context, cfg Config) (Renderable, error) {
+			o, err := optionsOr(cfg, defaults)
+			if err != nil {
+				return nil, err
+			}
+			return RunInstrument(ctx, cfg.Pool, cfg.Seed, o.Hours)
 		},
 	})
 }

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sisyphus/internal/mathx"
 	"sisyphus/internal/netsim/engine"
 	"sisyphus/internal/netsim/topo"
 	"sisyphus/internal/netsim/traffic"
+	"sisyphus/internal/parallel"
 	"sisyphus/internal/platform"
 	"sisyphus/internal/probe"
 )
@@ -50,7 +52,7 @@ func (r *IntentResult) Render() string {
 // endogenous user tests, and BGP-triggered traceroutes — over a world with
 // congestion episodes and occasional reroutes, then contrasts the analyses
 // the intent tags make possible.
-func RunIntent(seed uint64, hours int) (*IntentResult, error) {
+func RunIntent(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*IntentResult, error) {
 	if hours <= 0 {
 		hours = 1500
 	}
@@ -67,7 +69,7 @@ func RunIntent(seed uint64, hours int) (*IntentResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := engine.New(tp, seed, engine.Config{AdaptiveEgress: true})
+	e := engine.New(tp, seed, engine.Config{AdaptiveEgress: true, Pool: pool}).Bind(ctx)
 	pr := probe.NewProber(e, seed+1)
 	src, err := tp.FindPoP(7000, "Johannesburg")
 	if err != nil {
@@ -104,6 +106,9 @@ func RunIntent(seed uint64, hours int) (*IntentResult, error) {
 	var truthSum float64
 	var truthN int
 	for e.Hour() < float64(hours) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := e.Step(); err != nil {
 			return nil, err
 		}
@@ -166,11 +171,17 @@ func RunIntent(seed uint64, hours int) (*IntentResult, error) {
 }
 
 func init() {
+	defaults := HorizonOptions{Hours: 1500}
 	register(Experiment{
-		ID:    "intent",
-		Paper: "§4 proposals: intent tags separate biased and unbiased samples; triggers capture changes",
-		Run: func(seed uint64) (Renderable, error) {
-			return RunIntent(seed, 1500)
+		ID:       "intent",
+		Paper:    "§4 proposals: intent tags separate biased and unbiased samples; triggers capture changes",
+		Defaults: defaults,
+		Run: func(ctx context.Context, cfg Config) (Renderable, error) {
+			o, err := optionsOr(cfg, defaults)
+			if err != nil {
+				return nil, err
+			}
+			return RunIntent(ctx, cfg.Pool, cfg.Seed, o.Hours)
 		},
 	})
 }

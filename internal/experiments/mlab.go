@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sisyphus/internal/causal/data"
@@ -10,6 +11,7 @@ import (
 	"sisyphus/internal/netsim/scenario"
 	"sisyphus/internal/netsim/topo"
 	"sisyphus/internal/netsim/traffic"
+	"sisyphus/internal/parallel"
 	"sisyphus/internal/platform"
 	"sisyphus/internal/probe"
 )
@@ -48,7 +50,7 @@ func (r *MLabResult) Render() string {
 // transit. Randomized assignment recovers the true routing contrast;
 // self-selected assignment (users on congested paths prefer site A) is
 // biased.
-func RunMLab(seed uint64, hours int) (*MLabResult, error) {
+func RunMLab(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*MLabResult, error) {
 	if hours <= 0 {
 		hours = 1200
 	}
@@ -56,7 +58,7 @@ func RunMLab(seed uint64, hours int) (*MLabResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := engine.New(s.Topo, seed, engine.Config{})
+	e := engine.New(s.Topo, seed, engine.Config{Pool: pool}).Bind(ctx)
 	pr := probe.NewProber(e, seed+1)
 
 	// Congest the Transit-B side (which hosts MLabHostB) periodically.
@@ -80,7 +82,7 @@ func RunMLab(seed uint64, hours int) (*MLabResult, error) {
 		}
 		servers = append(servers, id)
 	}
-	pool, err := platform.NewMLabPool("jnb", servers, seed+3)
+	lb, err := platform.NewMLabPool("jnb", servers, seed+3)
 	if err != nil {
 		return nil, err
 	}
@@ -95,11 +97,14 @@ func RunMLab(seed uint64, hours int) (*MLabResult, error) {
 	var trueSum float64
 	var trueN int
 	for e.Hour() < float64(hours) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := e.Step(); err != nil {
 			return nil, err
 		}
 		// Randomized arm: one LB-assigned test per hour.
-		m, idx, err := pool.RunTest(pr, user)
+		m, idx, err := lb.RunTest(pr, user)
 		if err != nil {
 			return nil, err
 		}
@@ -160,11 +165,17 @@ func RunMLab(seed uint64, hours int) (*MLabResult, error) {
 }
 
 func init() {
+	defaults := HorizonOptions{Hours: 1200}
 	register(Experiment{
-		ID:    "mlab",
-		Paper: "§3 randomization: M-Lab load balancing as a randomized experiment",
-		Run: func(seed uint64) (Renderable, error) {
-			return RunMLab(seed, 1200)
+		ID:       "mlab",
+		Paper:    "§3 randomization: M-Lab load balancing as a randomized experiment",
+		Defaults: defaults,
+		Run: func(ctx context.Context, cfg Config) (Renderable, error) {
+			o, err := optionsOr(cfg, defaults)
+			if err != nil {
+				return nil, err
+			}
+			return RunMLab(ctx, cfg.Pool, cfg.Seed, o.Hours)
 		},
 	})
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -16,15 +17,11 @@ func TestTable1ParallelBitIdentity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full E1 run")
 	}
+	ctx := context.Background()
 	cfg := experimentsTable1Config()
 
-	restore := parallel.SetWorkers(1)
-	seq, seqErr := RunTable1(cfg)
-	restore()
-
-	restore = parallel.SetWorkers(8)
-	par, parErr := RunTable1(cfg)
-	restore()
+	seq, seqErr := RunTable1(ctx, parallel.NewPool(1), cfg)
+	par, parErr := RunTable1(ctx, parallel.NewPool(8), cfg)
 
 	if seqErr != nil || parErr != nil {
 		t.Fatalf("run errors: %v / %v", seqErr, parErr)
@@ -52,12 +49,14 @@ func TestRunAllMatchesSequential(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs several experiments twice")
 	}
+	ctx := context.Background()
 	cheap := map[string]bool{"collider": true, "confounding": true, "cellular": true, "mlab": true}
-	const seed = 5
+	cfg := Config{Seed: 5, Pool: parallel.NewPool(8)}
 
-	restore := parallel.SetWorkers(8)
-	outcomes := RunAll(seed)
-	restore()
+	outcomes, err := RunAll(ctx, cfg)
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
 
 	if len(outcomes) != len(All()) {
 		t.Fatalf("RunAll returned %d outcomes for %d experiments", len(outcomes), len(All()))
@@ -73,12 +72,69 @@ func TestRunAllMatchesSequential(t *testing.T) {
 		if !cheap[e.ID] {
 			continue
 		}
-		res, err := e.Run(seed)
+		res, err := e.Run(ctx, Config{Seed: cfg.Seed})
 		if err != nil {
 			t.Fatalf("%s failed sequentially: %v", e.ID, err)
 		}
 		if res.Render() != oc.Res.Render() {
 			t.Fatalf("%s renders differently under the pool", e.ID)
 		}
+	}
+}
+
+// TestConcurrentSuitesDoNotInterfere is the pool-as-value guarantee: two
+// suites running at once in one process, each with a different pool width,
+// must each produce exactly what they produce alone. Before this PR the
+// width lived in a package-global, so one suite's SetWorkers leaked into the
+// other; now the pool travels by value in Config and nothing global is
+// mutated.
+func TestConcurrentSuitesDoNotInterfere(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the cheap experiments four times")
+	}
+	ctx := context.Background()
+	only := []string{"cellular", "collider", "confounding", "mlab"}
+
+	render := func(outs []RunOutcome, t *testing.T) []string {
+		var got []string
+		for _, oc := range outs {
+			if oc.Err != nil {
+				t.Errorf("%s: %v", oc.Exp.ID, oc.Err)
+				continue
+			}
+			got = append(got, oc.Res.Render())
+		}
+		return got
+	}
+
+	// Baselines, sequentially, at each width.
+	base1, err := RunAll(ctx, Config{Seed: 7, Pool: parallel.NewPool(1), Only: only})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base8, err := RunAll(ctx, Config{Seed: 7, Pool: parallel.NewPool(8), Only: only})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same two suites, concurrently.
+	var conc1, conc8 []RunOutcome
+	var err1, err8 error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		conc1, err1 = RunAll(ctx, Config{Seed: 7, Pool: parallel.NewPool(1), Only: only})
+	}()
+	conc8, err8 = RunAll(ctx, Config{Seed: 7, Pool: parallel.NewPool(8), Only: only})
+	<-done
+	if err1 != nil || err8 != nil {
+		t.Fatalf("concurrent suites errored: %v / %v", err1, err8)
+	}
+
+	if !reflect.DeepEqual(render(base1, t), render(conc1, t)) {
+		t.Fatal("width-1 suite changed results when a width-8 suite ran alongside it")
+	}
+	if !reflect.DeepEqual(render(base8, t), render(conc8, t)) {
+		t.Fatal("width-8 suite changed results when a width-1 suite ran alongside it")
 	}
 }

@@ -1,11 +1,20 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sisyphus/internal/causal/power"
 	"sisyphus/internal/causal/synthetic"
+	"sisyphus/internal/parallel"
 )
+
+// PowerOptions sizes the Monte-Carlo power analysis.
+type PowerOptions struct {
+	Trials int // simulated studies per point on the power curve
+}
+
+func (PowerOptions) experimentOptions() {}
 
 // PowerResult is the §4 design-planning analysis: the detection power of
 // the Table 1 study design across effect sizes, and its minimum detectable
@@ -42,8 +51,9 @@ effect of interest is identifiable, or know in advance that it is not.
 		r.Alpha, t.String(), r.MDE80)
 }
 
-// RunPower evaluates the Table-1-like design.
-func RunPower(seed uint64, trials int) (*PowerResult, error) {
+// RunPower evaluates the Table-1-like design. Monte-Carlo trials shard
+// across pool; results are bit-identical at any width.
+func RunPower(ctx context.Context, pool parallel.Pool, seed uint64, trials int) (*PowerResult, error) {
 	if trials <= 0 {
 		trials = 120
 	}
@@ -54,14 +64,14 @@ func RunPower(seed uint64, trials int) (*PowerResult, error) {
 	const alpha = 0.06 // just above the design's min p of 1/19
 	res := &PowerResult{Design: d, Alpha: alpha}
 	for _, eff := range []float64{0, 0.5, 1, 1.5, 2, 3, 5} {
-		p, err := d.Power(eff, alpha, trials, seed)
+		p, err := d.Power(ctx, pool, eff, alpha, trials, seed)
 		if err != nil {
 			return nil, err
 		}
 		res.Effects = append(res.Effects, eff)
 		res.Power = append(res.Power, p)
 	}
-	mde, err := d.MinDetectableEffect(alpha, 0.8, 8, trials/2, seed+1)
+	mde, err := d.MinDetectableEffect(ctx, pool, alpha, 0.8, 8, trials/2, seed+1)
 	if err != nil {
 		return nil, err
 	}
@@ -70,11 +80,17 @@ func RunPower(seed uint64, trials int) (*PowerResult, error) {
 }
 
 func init() {
+	defaults := PowerOptions{Trials: 120}
 	register(Experiment{
-		ID:    "power",
-		Paper: "§4 design planning: can this study detect the effects it is looking for?",
-		Run: func(seed uint64) (Renderable, error) {
-			return RunPower(seed, 120)
+		ID:       "power",
+		Paper:    "§4 design planning: can this study detect the effects it is looking for?",
+		Defaults: defaults,
+		Run: func(ctx context.Context, cfg Config) (Renderable, error) {
+			o, err := optionsOr(cfg, defaults)
+			if err != nil {
+				return nil, err
+			}
+			return RunPower(ctx, cfg.Pool, cfg.Seed, o.Trials)
 		},
 	})
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sisyphus/internal/mathx"
@@ -8,6 +9,7 @@ import (
 	"sisyphus/internal/netsim/scenario"
 	"sisyphus/internal/netsim/topo"
 	"sisyphus/internal/netsim/traffic"
+	"sisyphus/internal/parallel"
 )
 
 // RootCauseResult reproduces the paper's §1 motivation (the Facebook and
@@ -59,7 +61,7 @@ exactly the distinction correlation alone could not draw.
 
 // RunRootCause builds the two-fault world and performs the counterfactual
 // attribution.
-func RunRootCause(seed uint64) (*RootCauseResult, error) {
+func RunRootCause(ctx context.Context, pool parallel.Pool, seed uint64) (*RootCauseResult, error) {
 	const horizon = 120.0
 	const outageHour = 60.0
 	const windowEnd = 90.0
@@ -76,7 +78,7 @@ func RunRootCause(seed uint64) (*RootCauseResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		e := engine.New(s.Topo, seed, engine.Config{})
+		e := engine.New(s.Topo, seed, engine.Config{Pool: pool}).Bind(ctx)
 		rel, err := s.Topo.Relationships()
 		if err != nil {
 			return nil, err
@@ -109,6 +111,9 @@ func RunRootCause(seed uint64) (*RootCauseResult, error) {
 		out := &worldOut{}
 		congLink := rel.Links[scenario.ZATransitA][scenario.ZATransitB][0]
 		for e.Hour() < horizon {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if err := e.Step(); err != nil {
 				return nil, err
 			}
@@ -168,8 +173,11 @@ func init() {
 	register(Experiment{
 		ID:    "rootcause",
 		Paper: "§1 motivation: surface symptoms vs root causes (Facebook/Rogers)",
-		Run: func(seed uint64) (Renderable, error) {
-			return RunRootCause(seed)
+		Run: func(ctx context.Context, cfg Config) (Renderable, error) {
+			if err := noOptions("rootcause", cfg); err != nil {
+				return nil, err
+			}
+			return RunRootCause(ctx, cfg.Pool, cfg.Seed)
 		},
 	})
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -12,6 +14,8 @@ import (
 	"sisyphus/internal/mathx"
 	"sisyphus/internal/netsim/engine"
 	"sisyphus/internal/netsim/scenario"
+	"sisyphus/internal/parallel"
+	"sisyphus/internal/pipeline"
 	"sisyphus/internal/platform"
 	"sisyphus/internal/probe"
 )
@@ -55,6 +59,11 @@ type Table1Config struct {
 	// never dropped; its coverage is reported on its row instead.
 	MinCoverage float64
 }
+
+// experimentOptions marks Table1Config as the typed options for the table1
+// experiment (the did, chaos, and trombone-era experiments reuse the struct
+// with their own defaults).
+func (Table1Config) experimentOptions() {}
 
 func (c Table1Config) withDefaults() Table1Config {
 	if c.Weeks <= 0 {
@@ -148,7 +157,14 @@ func (r *Table1Result) Render() string {
 // hop matching, estimate each unit's RTT change with robust synthetic
 // control against the never-treated donor pool, and compute placebo-based
 // p-values.
-func RunTable1(cfg Table1Config) (*Table1Result, error) {
+//
+// The run is four pipeline stages — Scenario (simulate the worlds and
+// collect measurements), Dataset (hop matching, donor-panel extraction),
+// Estimator (per-unit synthetic control and placebo inference), Report
+// (result assembly) — each a cancellation barrier: cancelling ctx surfaces
+// ctx.Err() within one stage boundary, and the Scenario's simulation loop
+// checks the context every simulated hour. Placebo fits shard across pool.
+func RunTable1(ctx context.Context, pool parallel.Pool, cfg Table1Config) (*Table1Result, error) {
 	cfg = cfg.withDefaults()
 	totalHours := float64(cfg.Weeks) * 7 * 24
 	joinHour := float64(cfg.JoinWeek) * 7 * 24
@@ -156,12 +172,12 @@ func RunTable1(cfg Table1Config) (*Table1Result, error) {
 	if cfg.Build == nil {
 		cfg.Build = scenario.BuildSouthAfrica
 	}
-	collect := func(withJoin bool) (*scenario.SouthAfrica, *platform.Store, error) {
+	collect := func(ctx context.Context, withJoin bool) (*scenario.SouthAfrica, *platform.Store, error) {
 		s, err := cfg.Build()
 		if err != nil {
 			return nil, nil, err
 		}
-		e := engine.New(s.Topo, cfg.Seed, engine.Config{AdaptiveEgress: true})
+		e := engine.New(s.Topo, cfg.Seed, engine.Config{AdaptiveEgress: true, Pool: pool}).Bind(ctx)
 		pr := probe.NewProber(e, cfg.Seed+1)
 		// Each world gets its own injector so the factual and counterfactual
 		// runs see identical fault streams (same seed, same pre-split rule).
@@ -197,6 +213,9 @@ func RunTable1(cfg Table1Config) (*Table1Result, error) {
 		um.BaseRate = cfg.UserRate
 		store := platform.NewStore()
 		for e.Hour() < totalHours {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
 			if err := e.Step(); err != nil {
 				return nil, nil, err
 			}
@@ -219,137 +238,189 @@ func RunTable1(cfg Table1Config) (*Table1Result, error) {
 		return s, store, nil
 	}
 
-	s, store, err := collect(true)
-	if err != nil {
-		return nil, err
+	// Stage outputs. Each type is what crosses a seam — the artifact a
+	// serving layer could cache and reuse (a collected world, a binned
+	// donor panel) while re-running only the later stages.
+	type worlds struct {
+		s          *scenario.SouthAfrica
+		store      *platform.Store
+		truthStore *platform.Store // nil unless cfg.WithTruth
+	}
+	type dataset struct {
+		worlds
+		matcher      *ixp.Matcher
+		byUnit       map[scenario.Unit][]*probe.Measurement
+		donorNames   []string
+		donorSeries  [][]float64
+		donorMasks   [][]bool
+		nBins        int
+		observedMask func([]int) []bool
+	}
+	type estimates struct {
+		dataset
+		rows []Table1Row
 	}
 
-	matcher, err := ixp.FromTopology(s.Topo, s.IXPName)
-	if err != nil {
-		return nil, err
-	}
-
-	// Group measurements per unit (analysis-side: only measurement fields).
-	byUnit := make(map[scenario.Unit][]*probe.Measurement)
-	for _, m := range store.All() {
-		u := scenario.Unit{ASN: m.SrcASN, City: m.SrcCity}
-		byUnit[u] = append(byUnit[u], m)
-	}
-
-	// Donor pool: units whose paths never cross the exchange. Alongside each
-	// trajectory keep its observation mask — which bins were backed by real
-	// measurements — so the panel's missing-cell policy can weigh donors by
-	// coverage instead of trusting interpolation blindly.
-	nBins := int(totalHours / cfg.BinHours)
-	observedMask := func(empty []int) []bool {
-		mask := make([]bool, nBins)
-		for i := range mask {
-			mask[i] = true
-		}
-		for _, b := range empty {
-			mask[b] = false
-		}
-		return mask
-	}
-	var donorNames []string
-	var donorSeries [][]float64
-	var donorMasks [][]bool
-	for _, u := range s.Donors {
-		if _, crossed := matcher.FirstCrossingHour(byUnit[u]); crossed {
-			continue // contaminated donor: exclude per Abadie's conditions
-		}
-		series, empty := platform.MedianRTTSeries(byUnit[u], platform.Unit{ASN: u.ASN, City: u.City}, 0, totalHours, cfg.BinHours)
-		donorNames = append(donorNames, u.String())
-		donorSeries = append(donorSeries, series)
-		donorMasks = append(donorMasks, observedMask(empty))
-	}
-	if len(donorNames) < 3 {
-		return nil, fmt.Errorf("experiments: only %d clean donors", len(donorNames))
-	}
-
-	// Ground-truth counterfactual world (identical seeds, no joins).
-	var truthStore *platform.Store
-	if cfg.WithTruth {
-		_, truthStore, err = collect(false)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	res := &Table1Result{Config: cfg, JoinHour: joinHour, NumDonors: len(donorNames),
-		SampleCount: store.Len(), Coverage: store.TotalCoverage()}
-	times := make([]float64, nBins)
-	for i := range times {
-		times[i] = float64(i) * cfg.BinHours
-	}
-	faulty := cfg.Faults != nil && cfg.Faults.Enabled()
-	for _, u := range s.Treated {
-		row := Table1Row{Unit: u}
-		firstHour, crossed := matcher.FirstCrossingHour(byUnit[u])
-		row.Crossed = crossed
-		if !crossed {
-			res.Rows = append(res.Rows, row)
-			continue
-		}
-		t0 := int(firstHour / cfg.BinHours)
-		if t0 < 4 {
-			t0 = 4
-		}
-		if t0 > nBins-2 {
-			t0 = nBins - 2
-		}
-		treatedSeries, treatedEmpty := platform.MedianRTTSeries(byUnit[u], platform.Unit{ASN: u.ASN, City: u.City}, 0, totalHours, cfg.BinHours)
-
-		units := append([]string{u.String()}, donorNames...)
-		y := mathx.NewMatrix(len(units), nBins)
-		y.SetRow(0, treatedSeries)
-		observed := make([][]bool, 0, len(units))
-		observed = append(observed, observedMask(treatedEmpty))
-		for i, d := range donorSeries {
-			y.SetRow(i+1, d)
-			observed = append(observed, donorMasks[i])
-		}
-		masked, err := synthetic.NewMaskedPanel(units, times, y, observed)
-		if err != nil {
-			return nil, err
-		}
-		panel, coverage, err := masked.Apply(synthetic.MissingPolicy{
-			MinCoverage: cfg.MinCoverage, KeepUnits: []string{u.String()},
+	scenarioStage := pipeline.NewStage("table1/"+pipeline.Scenario,
+		func(ctx context.Context, cfg Table1Config) (worlds, error) {
+			s, store, err := collect(ctx, true)
+			if err != nil {
+				return worlds{}, err
+			}
+			w := worlds{s: s, store: store}
+			if cfg.WithTruth {
+				// Ground-truth counterfactual world (identical seeds, no joins).
+				_, w.truthStore, err = collect(ctx, false)
+				if err != nil {
+					return worlds{}, err
+				}
+			}
+			return w, nil
 		})
-		row.Coverage = coverage[0].Fraction() // treated unit is row 0
-		for _, c := range coverage[1:] {
-			if c.Dropped {
-				row.DroppedDonors = append(row.DroppedDonors, c.Unit)
-			}
-		}
-		if err == nil {
-			var pl *synthetic.PlaceboResult
-			pl, err = synthetic.PlaceboTest(panel, u.String(), t0, synthetic.Config{Method: cfg.Method})
-			if err == nil {
-				row.RTTDelta = pl.Treated.ATT
-				row.RMSERatio = pl.Treated.RMSERatio
-				row.PValue = pl.PValue
-				row.PreRMSE = pl.Treated.PreRMSE
-				row.SkippedPlacebos = pl.Skipped
-				row.Detail = pl.Treated
-			}
-		}
-		if err != nil {
-			// Under heavy degradation the donor pool (or the fit) can
-			// collapse; that is a finding for the chaos sweep, not a crash.
-			// On clean runs any estimator failure stays fatal.
-			if !faulty {
-				return nil, fmt.Errorf("experiments: unit %v: %w", u, err)
-			}
-			row.EstimateError = err.Error()
-		}
 
-		if cfg.WithTruth {
-			row.TrueDelta = trueDelta(byUnit[u], truthStore, u, firstHour, totalHours)
-		}
-		res.Rows = append(res.Rows, row)
-	}
-	return res, nil
+	datasetStage := pipeline.NewStage("table1/"+pipeline.Dataset,
+		func(ctx context.Context, w worlds) (dataset, error) {
+			matcher, err := ixp.FromTopology(w.s.Topo, w.s.IXPName)
+			if err != nil {
+				return dataset{}, err
+			}
+
+			// Group measurements per unit (analysis-side: only measurement
+			// fields).
+			byUnit := make(map[scenario.Unit][]*probe.Measurement)
+			for _, m := range w.store.All() {
+				u := scenario.Unit{ASN: m.SrcASN, City: m.SrcCity}
+				byUnit[u] = append(byUnit[u], m)
+			}
+
+			// Donor pool: units whose paths never cross the exchange.
+			// Alongside each trajectory keep its observation mask — which
+			// bins were backed by real measurements — so the panel's
+			// missing-cell policy can weigh donors by coverage instead of
+			// trusting interpolation blindly.
+			nBins := int(totalHours / cfg.BinHours)
+			observedMask := func(empty []int) []bool {
+				mask := make([]bool, nBins)
+				for i := range mask {
+					mask[i] = true
+				}
+				for _, b := range empty {
+					mask[b] = false
+				}
+				return mask
+			}
+			d := dataset{worlds: w, matcher: matcher, byUnit: byUnit,
+				nBins: nBins, observedMask: observedMask}
+			for _, u := range w.s.Donors {
+				if _, crossed := matcher.FirstCrossingHour(byUnit[u]); crossed {
+					continue // contaminated donor: exclude per Abadie's conditions
+				}
+				series, empty := platform.MedianRTTSeries(byUnit[u], platform.Unit{ASN: u.ASN, City: u.City}, 0, totalHours, cfg.BinHours)
+				d.donorNames = append(d.donorNames, u.String())
+				d.donorSeries = append(d.donorSeries, series)
+				d.donorMasks = append(d.donorMasks, observedMask(empty))
+			}
+			if len(d.donorNames) < 3 {
+				return dataset{}, fmt.Errorf("experiments: only %d clean donors", len(d.donorNames))
+			}
+			return d, nil
+		})
+
+	estimatorStage := pipeline.NewStage("table1/"+pipeline.Estimator,
+		func(ctx context.Context, d dataset) (estimates, error) {
+			times := make([]float64, d.nBins)
+			for i := range times {
+				times[i] = float64(i) * cfg.BinHours
+			}
+			faulty := cfg.Faults != nil && cfg.Faults.Enabled()
+			est := estimates{dataset: d}
+			for _, u := range d.s.Treated {
+				if err := ctx.Err(); err != nil {
+					return estimates{}, err
+				}
+				row := Table1Row{Unit: u}
+				firstHour, crossed := d.matcher.FirstCrossingHour(d.byUnit[u])
+				row.Crossed = crossed
+				if !crossed {
+					est.rows = append(est.rows, row)
+					continue
+				}
+				t0 := int(firstHour / cfg.BinHours)
+				if t0 < 4 {
+					t0 = 4
+				}
+				if t0 > d.nBins-2 {
+					t0 = d.nBins - 2
+				}
+				treatedSeries, treatedEmpty := platform.MedianRTTSeries(d.byUnit[u], platform.Unit{ASN: u.ASN, City: u.City}, 0, totalHours, cfg.BinHours)
+
+				units := append([]string{u.String()}, d.donorNames...)
+				y := mathx.NewMatrix(len(units), d.nBins)
+				y.SetRow(0, treatedSeries)
+				observed := make([][]bool, 0, len(units))
+				observed = append(observed, d.observedMask(treatedEmpty))
+				for i, dn := range d.donorSeries {
+					y.SetRow(i+1, dn)
+					observed = append(observed, d.donorMasks[i])
+				}
+				masked, err := synthetic.NewMaskedPanel(units, times, y, observed)
+				if err != nil {
+					return estimates{}, err
+				}
+				panel, coverage, err := masked.Apply(synthetic.MissingPolicy{
+					MinCoverage: cfg.MinCoverage, KeepUnits: []string{u.String()},
+				})
+				row.Coverage = coverage[0].Fraction() // treated unit is row 0
+				for _, c := range coverage[1:] {
+					if c.Dropped {
+						row.DroppedDonors = append(row.DroppedDonors, c.Unit)
+					}
+				}
+				if err == nil {
+					var pl *synthetic.PlaceboResult
+					pl, err = synthetic.PlaceboTest(ctx, panel, u.String(), t0, synthetic.Config{Method: cfg.Method, Pool: pool})
+					if err == nil {
+						row.RTTDelta = pl.Treated.ATT
+						row.RMSERatio = pl.Treated.RMSERatio
+						row.PValue = pl.PValue
+						row.PreRMSE = pl.Treated.PreRMSE
+						row.SkippedPlacebos = pl.Skipped
+						row.Detail = pl.Treated
+					}
+				}
+				if err != nil {
+					// Cancellation is never a per-unit finding: it aborts the
+					// stage no matter how degraded the run is.
+					if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+						return estimates{}, err
+					}
+					// Under heavy degradation the donor pool (or the fit) can
+					// collapse; that is a finding for the chaos sweep, not a
+					// crash. On clean runs any estimator failure stays fatal.
+					if !faulty {
+						return estimates{}, fmt.Errorf("experiments: unit %v: %w", u, err)
+					}
+					row.EstimateError = err.Error()
+				}
+
+				if cfg.WithTruth {
+					row.TrueDelta = trueDelta(d.byUnit[u], d.truthStore, u, firstHour, totalHours)
+				}
+				est.rows = append(est.rows, row)
+			}
+			return est, nil
+		})
+
+	reportStage := pipeline.NewStage("table1/"+pipeline.Report,
+		func(ctx context.Context, est estimates) (*Table1Result, error) {
+			return &Table1Result{Config: cfg, Rows: est.rows, JoinHour: joinHour,
+				NumDonors:   len(est.donorNames),
+				SampleCount: est.store.Len(), Coverage: est.store.TotalCoverage()}, nil
+		})
+
+	run := pipeline.Then(pipeline.Then(scenarioStage, datasetStage),
+		pipeline.Then(estimatorStage, reportStage))
+	return run.Run(ctx, cfg)
 }
 
 // trueDelta compares post-treatment median true RTT between the factual
@@ -375,11 +446,18 @@ func trueDelta(factual []*probe.Measurement, truth *platform.Store, u scenario.U
 }
 
 func init() {
+	defaults := Table1Config{Method: synthetic.Robust, WithTruth: true}
 	register(Experiment{
-		ID:    "table1",
-		Paper: "Table 1: RTT change for ⟨ASN,city⟩ pairs that begin crossing NAPAfrica-JNB",
-		Run: func(seed uint64) (Renderable, error) {
-			return RunTable1(Table1Config{Seed: seed, Method: synthetic.Robust, WithTruth: true})
+		ID:       "table1",
+		Paper:    "Table 1: RTT change for ⟨ASN,city⟩ pairs that begin crossing NAPAfrica-JNB",
+		Defaults: defaults,
+		Run: func(ctx context.Context, cfg Config) (Renderable, error) {
+			o, err := optionsOr(cfg, defaults)
+			if err != nil {
+				return nil, err
+			}
+			o.Seed = cfg.Seed
+			return RunTable1(ctx, cfg.Pool, o)
 		},
 	})
 }

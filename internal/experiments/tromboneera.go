@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sisyphus/internal/causal/synthetic"
 	"sisyphus/internal/netsim/scenario"
+	"sisyphus/internal/parallel"
 )
 
 // TromboneEraResult contrasts the same IXP-join intervention across two
@@ -53,15 +55,15 @@ without re-modelling is how the field ends up pushing the same boulder.
 }
 
 // RunTromboneEra runs the identical Table 1 pipeline on both worlds.
-func RunTromboneEra(seed uint64) (*TromboneEraResult, error) {
-	era, err := RunTable1(Table1Config{
+func RunTromboneEra(ctx context.Context, pool parallel.Pool, seed uint64) (*TromboneEraResult, error) {
+	era, err := RunTable1(ctx, pool, Table1Config{
 		Weeks: 4, JoinWeek: 2, Seed: seed, Method: synthetic.Robust,
 		Build: scenario.BuildTromboneEra,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: trombone era: %w", err)
 	}
-	modern, err := RunTable1(Table1Config{
+	modern, err := RunTable1(ctx, pool, Table1Config{
 		Weeks: 4, JoinWeek: 2, Seed: seed, Method: synthetic.Robust,
 	})
 	if err != nil {
@@ -74,8 +76,11 @@ func init() {
 	register(Experiment{
 		ID:    "tromboneera",
 		Paper: "historical contrast: why the IXP belief formed (trombone era) vs what Table 1 measures",
-		Run: func(seed uint64) (Renderable, error) {
-			return RunTromboneEra(seed)
+		Run: func(ctx context.Context, cfg Config) (Renderable, error) {
+			if err := noOptions("tromboneera", cfg); err != nil {
+				return nil, err
+			}
+			return RunTromboneEra(ctx, cfg.Pool, cfg.Seed)
 		},
 	})
 }

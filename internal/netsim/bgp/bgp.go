@@ -13,6 +13,7 @@
 package bgp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -113,6 +114,8 @@ type RIB struct {
 	best map[topo.ASN]map[topo.ASN]*Route
 	// policy used (for data-plane link filtering).
 	policy *Policy
+	// pool computed this RIB and is reused by incremental recomputation.
+	pool parallel.Pool
 }
 
 // Lookup returns a's route to dest, or nil if unreachable.
@@ -142,10 +145,12 @@ const maxSweeps = 200
 // (nil means default policy).
 //
 // Destinations are independent fixed-point problems over read-only inputs
-// (topology, relationships, policy), so they fan out across the worker
-// pool; per-destination tables come back in AS order and are assembled into
-// the RIB sequentially, making the result identical to the sequential loop.
-func Compute(t *topo.Topology, pol *Policy) (*RIB, error) {
+// (topology, relationships, policy), so they fan out across pool;
+// per-destination tables come back in AS order and are assembled into the
+// RIB sequentially, making the result identical to the sequential loop.
+// Cancelling ctx stops scheduling further destinations and returns ctx.Err();
+// the pool is retained by the RIB for incremental recomputation.
+func Compute(ctx context.Context, pool parallel.Pool, t *topo.Topology, pol *Policy) (*RIB, error) {
 	if pol == nil {
 		pol = NewPolicy()
 	}
@@ -153,9 +158,9 @@ func Compute(t *topo.Topology, pol *Policy) (*RIB, error) {
 	if err != nil {
 		return nil, err
 	}
-	rib := &RIB{Topo: t, Rel: rel, best: make(map[topo.ASN]map[topo.ASN]*Route), policy: pol}
+	rib := &RIB{Topo: t, Rel: rel, best: make(map[topo.ASN]map[topo.ASN]*Route), policy: pol, pool: pool}
 	ases := t.ASes()
-	tables, err := parallel.Map(len(ases), func(i int) (map[topo.ASN]*Route, error) {
+	tables, err := parallel.Map(ctx, pool, len(ases), func(i int) (map[topo.ASN]*Route, error) {
 		return computeDest(t, rel, pol, ases[i].ASN)
 	})
 	if err != nil {

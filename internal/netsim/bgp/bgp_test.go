@@ -1,11 +1,13 @@
 package bgp
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
 	"sisyphus/internal/mathx"
 	"sisyphus/internal/netsim/topo"
+	"sisyphus/internal/parallel"
 )
 
 // trombone builds the paper's motivating scenario: access AS 3741 in
@@ -47,7 +49,7 @@ func TestRouteSelectionPrefersCustomerThenPeerThenProvider(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rib, err := Compute(tp, nil)
+	rib, err := Compute(context.Background(), parallel.Pool{}, tp, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +75,7 @@ func TestPeerRoutesNotReExported(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rib, err := Compute(tp, nil)
+	rib, err := Compute(context.Background(), parallel.Pool{}, tp, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +90,7 @@ func TestPeerRoutesNotReExported(t *testing.T) {
 
 func TestProviderExportsEverythingToCustomer(t *testing.T) {
 	tp := trombone(t)
-	rib, err := Compute(tp, nil)
+	rib, err := Compute(context.Background(), parallel.Pool{}, tp, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +117,7 @@ func TestIXPJoinShiftsRouteToPeer(t *testing.T) {
 	if _, err := tp.JoinIXP("NAPAfrica-JNB", 3741); err != nil {
 		t.Fatal(err)
 	}
-	rib, err := Compute(tp, nil)
+	rib, err := Compute(context.Background(), parallel.Pool{}, tp, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +137,7 @@ func TestLocalPrefOverrideFlipsChoice(t *testing.T) {
 	pol := NewPolicy()
 	// Depref the IXP peer below the provider: route goes back to transit.
 	pol.SetLocalPref(3741, 300, 50)
-	rib, err := Compute(tp, pol)
+	rib, err := Compute(context.Background(), parallel.Pool{}, tp, pol)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +163,7 @@ func TestPoisoningDivertsPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rib, err := Compute(tp, nil)
+	rib, err := Compute(context.Background(), parallel.Pool{}, tp, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +175,7 @@ func TestPoisoningDivertsPath(t *testing.T) {
 
 	pol := NewPolicy()
 	pol.Poison[300] = []topo.ASN{usedFirst}
-	rib2, err := Compute(tp, pol)
+	rib2, err := Compute(context.Background(), parallel.Pool{}, tp, pol)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +201,7 @@ func TestMaintenanceDenyLink(t *testing.T) {
 	link3741 := rel.Links[3741][200][0]
 	pol := NewPolicy()
 	pol.DenyLink[link3741] = true
-	rib, err := Compute(tp, pol)
+	rib, err := Compute(context.Background(), parallel.Pool{}, tp, pol)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +215,7 @@ func TestLinkDownRecompute(t *testing.T) {
 	rel, _ := tp.Relationships()
 	id := rel.Links[200][100][0]
 	tp.Link(id).Up = false
-	rib, err := Compute(tp, nil)
+	rib, err := Compute(context.Background(), parallel.Pool{}, tp, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +223,7 @@ func TestLinkDownRecompute(t *testing.T) {
 		t.Fatalf("route survived dead link: %+v", r)
 	}
 	tp.Link(id).Up = true
-	rib2, _ := Compute(tp, nil)
+	rib2, _ := Compute(context.Background(), parallel.Pool{}, tp, nil)
 	if rib2.Lookup(3741, 300) == nil {
 		t.Fatal("route did not return after link restore")
 	}
@@ -229,7 +231,7 @@ func TestLinkDownRecompute(t *testing.T) {
 
 func TestForwardExpandsTrombone(t *testing.T) {
 	tp := trombone(t)
-	rib, err := Compute(tp, nil)
+	rib, err := Compute(context.Background(), parallel.Pool{}, tp, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +252,7 @@ func TestForwardExpandsTrombone(t *testing.T) {
 	// After the IXP join, the same endpoints should be a few ms apart.
 	_, _ = tp.JoinIXP("NAPAfrica-JNB", 300)
 	_, _ = tp.JoinIXP("NAPAfrica-JNB", 3741)
-	rib2, _ := Compute(tp, nil)
+	rib2, _ := Compute(context.Background(), parallel.Pool{}, tp, nil)
 	p2, err := rib2.Forward(src, dst)
 	if err != nil {
 		t.Fatal(err)
@@ -265,7 +267,7 @@ func TestForwardExpandsTrombone(t *testing.T) {
 
 func TestForwardIntraAS(t *testing.T) {
 	tp := trombone(t)
-	rib, _ := Compute(tp, nil)
+	rib, _ := Compute(context.Background(), parallel.Pool{}, tp, nil)
 	a, _ := tp.FindPoP(3741, "East London")
 	b, _ := tp.FindPoP(3741, "Johannesburg")
 	p, err := rib.Forward(a, b)
@@ -298,7 +300,7 @@ func TestForwardUnreachable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rib, _ := Compute(tp, nil)
+	rib, _ := Compute(context.Background(), parallel.Pool{}, tp, nil)
 	p1, _ := tp.FindPoP(1, "London")
 	p2, _ := tp.FindPoP(2, "Paris")
 	if _, err := rib.Forward(p1, p2); err == nil {
@@ -310,7 +312,7 @@ func TestNearestPoPPicksClosest(t *testing.T) {
 	tp := trombone(t)
 	_, _ = tp.JoinIXP("NAPAfrica-JNB", 300)
 	_, _ = tp.JoinIXP("NAPAfrica-JNB", 3741)
-	rib, _ := Compute(tp, nil)
+	rib, _ := Compute(context.Background(), parallel.Pool{}, tp, nil)
 	src, _ := tp.FindPoP(3741, "Johannesburg")
 	id, err := rib.NearestPoP(src, 300)
 	if err != nil {
@@ -328,7 +330,7 @@ func TestGeneratedTopologiesConvergeAndAreValleyFree(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		rib, err := Compute(tp, nil)
+		rib, err := Compute(context.Background(), parallel.Pool{}, tp, nil)
 		if err != nil {
 			return false
 		}
@@ -372,7 +374,7 @@ func TestForwardingMatchesControlPlane(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		rib, err := Compute(tp, nil)
+		rib, err := Compute(context.Background(), parallel.Pool{}, tp, nil)
 		if err != nil {
 			return false
 		}
@@ -461,7 +463,7 @@ func TestScaleLargeTopology(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rib, err := Compute(tp, nil)
+	rib, err := Compute(context.Background(), parallel.Pool{}, tp, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -486,13 +488,13 @@ func TestScaleLargeTopology(t *testing.T) {
 	// Incremental recomputation must agree with full on a sampled failure.
 	links := tp.Links()
 	failed := links[r.Intn(len(links))].ID
-	inc, err := rib.RecomputeAfterLinkFailure(failed)
+	inc, err := rib.RecomputeAfterLinkFailure(context.Background(), failed)
 	if err != nil {
 		t.Fatal(err)
 	}
 	pol := NewPolicy()
 	pol.DenyLink[failed] = true
-	full, err := Compute(tp, pol)
+	full, err := Compute(context.Background(), parallel.Pool{}, tp, pol)
 	if err != nil {
 		t.Fatal(err)
 	}

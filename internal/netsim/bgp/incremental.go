@@ -1,6 +1,7 @@
 package bgp
 
 import (
+	"context"
 	"sort"
 
 	"sisyphus/internal/netsim/topo"
@@ -69,14 +70,14 @@ func (r *RIB) AffectedDestinations(failed topo.LinkID) []topo.ASN {
 // topologies most destinations are unaffected by a single edge event, so
 // this is much cheaper than a full Compute — at the cost of holding the
 // (safe) monotonicity assumption above.
-func (r *RIB) RecomputeAfterLinkFailure(failed topo.LinkID) (*RIB, error) {
+func (r *RIB) RecomputeAfterLinkFailure(ctx context.Context, failed topo.LinkID) (*RIB, error) {
 	pol := r.policy.Clone()
 	pol.DenyLink[failed] = true
 	rel, err := relationshipsUnderPolicy(r.Topo, pol)
 	if err != nil {
 		return nil, err
 	}
-	out := &RIB{Topo: r.Topo, Rel: rel, best: make(map[topo.ASN]map[topo.ASN]*Route), policy: pol}
+	out := &RIB{Topo: r.Topo, Rel: rel, best: make(map[topo.ASN]map[topo.ASN]*Route), policy: pol, pool: r.pool}
 	affected := make(map[topo.ASN]bool)
 	for _, d := range r.AffectedDestinations(failed) {
 		affected[d] = true
@@ -92,7 +93,7 @@ func (r *RIB) RecomputeAfterLinkFailure(failed topo.LinkID) (*RIB, error) {
 	// Affected destinations re-converge independently, exactly as in
 	// Compute; sorted so the dispatch order is deterministic.
 	sort.Slice(recompute, func(i, j int) bool { return recompute[i] < recompute[j] })
-	fresh, err := parallel.Map(len(recompute), func(i int) (map[topo.ASN]*Route, error) {
+	fresh, err := parallel.Map(ctx, r.pool, len(recompute), func(i int) (map[topo.ASN]*Route, error) {
 		return computeDest(r.Topo, rel, pol, recompute[i])
 	})
 	if err != nil {

@@ -1,11 +1,13 @@
 package bgp
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
 	"sisyphus/internal/mathx"
 	"sisyphus/internal/netsim/topo"
+	"sisyphus/internal/parallel"
 )
 
 // TestIncrementalMatchesFullRecompute is the correctness contract for the
@@ -18,20 +20,20 @@ func TestIncrementalMatchesFullRecompute(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		rib, err := Compute(tp, nil)
+		rib, err := Compute(context.Background(), parallel.Pool{}, tp, nil)
 		if err != nil {
 			return false
 		}
 		links := tp.Links()
 		failed := links[r.Intn(len(links))].ID
 
-		inc, err := rib.RecomputeAfterLinkFailure(failed)
+		inc, err := rib.RecomputeAfterLinkFailure(context.Background(), failed)
 		if err != nil {
 			return false
 		}
 		pol := NewPolicy()
 		pol.DenyLink[failed] = true
-		full, err := Compute(tp, pol)
+		full, err := Compute(context.Background(), parallel.Pool{}, tp, pol)
 		if err != nil {
 			return false
 		}
@@ -64,14 +66,14 @@ func TestAffectedDestinationsRedundantLink(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rib, err := Compute(tp, nil)
+	rib, err := Compute(context.Background(), parallel.Pool{}, tp, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := rib.AffectedDestinations(0); got != nil {
 		t.Fatalf("redundant link failure affected %v", got)
 	}
-	inc, err := rib.RecomputeAfterLinkFailure(0)
+	inc, err := rib.RecomputeAfterLinkFailure(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +84,7 @@ func TestAffectedDestinationsRedundantLink(t *testing.T) {
 
 func TestAffectedDestinationsCutLink(t *testing.T) {
 	tp := trombone(t)
-	rib, err := Compute(tp, nil)
+	rib, err := Compute(context.Background(), parallel.Pool{}, tp, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +94,7 @@ func TestAffectedDestinationsCutLink(t *testing.T) {
 	if len(affected) == 0 {
 		t.Fatal("cutting the only access link should affect destinations")
 	}
-	inc, err := rib.RecomputeAfterLinkFailure(id)
+	inc, err := rib.RecomputeAfterLinkFailure(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package bgp
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -20,12 +21,9 @@ func TestComputeParallelBitIdentity(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	restore := parallel.SetWorkers(1)
-	seq, seqErr := Compute(tp, nil)
-	restore()
-	restore = parallel.SetWorkers(8)
-	par, parErr := Compute(tp, nil)
-	restore()
+	ctx := context.Background()
+	seq, seqErr := Compute(ctx, parallel.NewPool(1), tp, nil)
+	par, parErr := Compute(ctx, parallel.NewPool(8), tp, nil)
 	if seqErr != nil || parErr != nil {
 		t.Fatalf("compute errors: %v / %v", seqErr, parErr)
 	}
@@ -33,14 +31,11 @@ func TestComputeParallelBitIdentity(t *testing.T) {
 		t.Fatal("parallel RIB differs from sequential RIB")
 	}
 
-	// Incremental recompute must also be worker-count invariant.
+	// Incremental recompute must also be worker-count invariant: each RIB
+	// carries its pool, so the two recomputes run at different widths.
 	link := tp.Links()[3].ID
-	restore = parallel.SetWorkers(1)
-	seqInc, err1 := seq.RecomputeAfterLinkFailure(link)
-	restore()
-	restore = parallel.SetWorkers(8)
-	parInc, err2 := par.RecomputeAfterLinkFailure(link)
-	restore()
+	seqInc, err1 := seq.RecomputeAfterLinkFailure(ctx, link)
+	parInc, err2 := par.RecomputeAfterLinkFailure(ctx, link)
 	if err1 != nil || err2 != nil {
 		t.Fatalf("incremental errors: %v / %v", err1, err2)
 	}

@@ -13,12 +13,14 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"sisyphus/internal/netsim/bgp"
 	"sisyphus/internal/netsim/topo"
 	"sisyphus/internal/netsim/traffic"
+	"sisyphus/internal/parallel"
 )
 
 // Config tunes the engine.
@@ -35,6 +37,9 @@ type Config struct {
 	// (default 0.82); EgressLowUtil the level that releases the override
 	// (default 0.6).
 	EgressHighUtil, EgressLowUtil float64
+	// Pool shards routing recomputation (bgp.Compute) across workers. The
+	// zero value is the default pool; routing is bit-identical at any width.
+	Pool parallel.Pool
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +93,14 @@ type Engine struct {
 
 	// Adaptive egress state: per AS, the provider currently de-preffed.
 	depreffed map[topo.ASN]topo.ASN
+
+	// ctx is the run context set by Bind. An Engine is single-run scoped —
+	// built, stepped, and discarded inside one Scenario stage — so binding
+	// the run's context once at construction is the documented exception to
+	// "don't store contexts in structs": it lets cancellation reach routing
+	// recomputation without threading a ctx through every Step/RIB/Perf
+	// call site (probes and user models query the engine from tight loops).
+	ctx context.Context
 }
 
 // New creates an engine over the topology with the given noise seed.
@@ -99,7 +112,19 @@ func New(t *topo.Topology, seed uint64, cfg Config) *Engine {
 		cfg:       cfg.withDefaults(),
 		dirty:     true,
 		depreffed: make(map[topo.ASN]topo.ASN),
+		ctx:       context.Background(),
 	}
+}
+
+// Bind attaches the run context: once ctx is cancelled, routing
+// recomputations fail with ctx.Err() and the failure propagates out of
+// whatever Step/RIB/Perf call needed them. Returns the engine for chaining.
+func (e *Engine) Bind(ctx context.Context) *Engine {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.ctx = ctx
+	return e
 }
 
 // Schedule registers an event; events fire in AtHour order during Step.
@@ -120,7 +145,7 @@ func (e *Engine) EventLog() []string { return append([]string(nil), e.eventLg...
 // RIB returns the current converged routing state, recomputing if needed.
 func (e *Engine) RIB() (*bgp.RIB, error) {
 	if e.dirty || e.rib == nil {
-		rib, err := bgp.Compute(e.Topo, e.Policy)
+		rib, err := bgp.Compute(e.ctx, e.cfg.Pool, e.Topo, e.Policy)
 		if err != nil {
 			return nil, err
 		}

@@ -52,7 +52,7 @@ func (e *Engine) RIBFamily(f Family) (*bgp.RIB, error) {
 			if err != nil {
 				return nil, err
 			}
-			rib, err := bgp.Compute(e.Topo, pol)
+			rib, err := bgp.Compute(e.ctx, e.cfg.Pool, e.Topo, pol)
 			if err != nil {
 				return nil, err
 			}

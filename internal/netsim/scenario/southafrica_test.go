@@ -1,11 +1,13 @@
 package scenario
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"sisyphus/internal/netsim/bgp"
 	"sisyphus/internal/netsim/engine"
+	"sisyphus/internal/parallel"
 )
 
 func TestBuildSouthAfrica(t *testing.T) {
@@ -38,7 +40,7 @@ func TestSouthAfricaRoutesAreDomesticPreJoin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rib, err := bgp.Compute(s.Topo, nil)
+	rib, err := bgp.Compute(context.Background(), parallel.Pool{}, s.Topo, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +149,7 @@ func TestBuildTromboneEra(t *testing.T) {
 	}
 	// Pre-join, every unit trombones: propagation to content is
 	// intercontinental even for Johannesburg users.
-	rib, err := bgp.Compute(s.Topo, nil)
+	rib, err := bgp.Compute(context.Background(), parallel.Pool{}, s.Topo, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +171,7 @@ func TestBuildTromboneEra(t *testing.T) {
 	if _, err := s.Topo.JoinIXP(s.IXPName, 328745); err != nil {
 		t.Fatal(err)
 	}
-	rib2, _ := bgp.Compute(s.Topo, nil)
+	rib2, _ := bgp.Compute(context.Background(), parallel.Pool{}, s.Topo, nil)
 	src, _ := s.Topo.FindPoP(328745, "Johannesburg")
 	dst, err := rib2.NearestPoP(src, BigContent)
 	if err != nil {

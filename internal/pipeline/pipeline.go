@@ -1,0 +1,114 @@
+// Package pipeline defines the staged run architecture the experiment
+// runners are built on: Scenario → Dataset → Estimator → Report.
+//
+// The paper's §4 platform proposals — and Hours et al.'s causal study
+// framework — treat a measurement analysis as a sequence of separable
+// stages: construct (or observe) a world, extract a measurement panel from
+// it, run an estimator over the panel, and render diagnostics. Keeping
+// those seams explicit in the code is what lets a serving layer cache the
+// expensive early artifacts (a built world, a binned panel) and re-run only
+// the cheap late ones (a different estimator, a re-render), and is where
+// cancellation is checked: every stage entry is a cancellation barrier, so
+// a cancelled run stops within one stage boundary even if the stage bodies
+// never look at the context again.
+//
+// A Stage is a value: a name plus a typed function. Stages compose with
+// Then, and experiments name theirs after the canonical seams (the
+// Scenario/Dataset/Estimator/Report constants) so profiles and error
+// messages line up across experiments.
+package pipeline
+
+import (
+	"context"
+	"errors"
+)
+
+// Canonical stage names. Experiments qualify them as "<id>/<stage>", e.g.
+// "table1/estimator".
+const (
+	Scenario  = "scenario"  // world construction and measurement collection
+	Dataset   = "dataset"   // panel / measurement extraction and binning
+	Estimator = "estimator" // synthetic control, DiD, IV, OLS, …
+	Report    = "report"    // rendering and serializable result assembly
+)
+
+// Stage is one named, typed step of a run. The zero value is invalid; build
+// stages with NewStage (or a struct literal with both fields set).
+type Stage[In, Out any] struct {
+	// Name identifies the stage in errors and traces ("table1/scenario").
+	Name string
+	// Fn is the stage body. It receives the run context and must honor it
+	// in its own long loops; the Run wrapper already guarantees the stage
+	// never starts under a cancelled context.
+	Fn func(ctx context.Context, in In) (Out, error)
+}
+
+// NewStage builds a stage value.
+func NewStage[In, Out any](name string, fn func(ctx context.Context, in In) (Out, error)) Stage[In, Out] {
+	return Stage[In, Out]{Name: name, Fn: fn}
+}
+
+// stageError wraps a stage body's failure with the stage name. It exists so
+// composite stages (Then) don't re-wrap an error a deeper seam already
+// named: the innermost stage is the useful one in a message.
+type stageError struct {
+	stage string
+	err   error
+}
+
+func (e *stageError) Error() string { return "pipeline: stage " + e.stage + ": " + e.err.Error() }
+func (e *stageError) Unwrap() error { return e.err }
+
+// wrapStage names err after the stage unless some inner stage already did.
+func wrapStage(name string, err error) error {
+	var se *stageError
+	if errors.As(err, &se) {
+		return err
+	}
+	return &stageError{stage: name, err: err}
+}
+
+// Run executes the stage: it checks for cancellation at entry (the stage
+// boundary), then invokes the body. Errors — including the context's own —
+// come back wrapped with the stage name, so a failure deep inside a run
+// names the seam it crossed.
+func (s Stage[In, Out]) Run(ctx context.Context, in In) (Out, error) {
+	var zero Out
+	if err := ctx.Err(); err != nil {
+		return zero, wrapStage(s.Name, err)
+	}
+	out, err := s.Fn(ctx, in)
+	if err != nil {
+		return zero, wrapStage(s.Name, err)
+	}
+	return out, nil
+}
+
+// Then composes two stages into one: a.Then(b) is not expressible as a
+// method (Go methods cannot add type parameters), so composition is a
+// package function. The composite runs a, then feeds its output to b, with
+// the usual cancellation barrier between them; its name is "a+b".
+func Then[A, B, C any](a Stage[A, B], b Stage[B, C]) Stage[A, C] {
+	return Stage[A, C]{
+		Name: a.Name + "+" + b.Name,
+		Fn: func(ctx context.Context, in A) (C, error) {
+			var zero C
+			mid, err := a.Run(ctx, in)
+			if err != nil {
+				return zero, err
+			}
+			return b.Run(ctx, mid)
+		},
+	}
+}
+
+// Guard returns ctx.Err() wrapped with a stage name, or nil. It is the
+// cancellation barrier for code that iterates *within* a stage (a chaos
+// sweep level, a per-unit estimator loop) and wants the same error shape a
+// stage entry would produce.
+func Guard(ctx context.Context, name string) error {
+	if err := ctx.Err(); err != nil {
+		return wrapStage(name, err)
+	}
+	return nil
+}

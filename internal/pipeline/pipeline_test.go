@@ -1,0 +1,113 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestStageRunsBody(t *testing.T) {
+	double := NewStage("test/double", func(ctx context.Context, in int) (int, error) {
+		return in * 2, nil
+	})
+	out, err := double.Run(context.Background(), 21)
+	if err != nil || out != 42 {
+		t.Fatalf("Run = %d, %v", out, err)
+	}
+}
+
+func TestStageEntryIsCancellationBarrier(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	s := NewStage("test/never", func(ctx context.Context, in int) (int, error) {
+		ran = true
+		return in, nil
+	})
+	_, err := s.Run(ctx, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("stage body ran under a cancelled context")
+	}
+	if !strings.Contains(err.Error(), "test/never") {
+		t.Fatalf("error does not name the stage: %v", err)
+	}
+}
+
+func TestStageWrapsBodyError(t *testing.T) {
+	sentinel := errors.New("boom")
+	s := NewStage("table1/estimator", func(ctx context.Context, in int) (int, error) {
+		return 0, sentinel
+	})
+	_, err := s.Run(context.Background(), 1)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	if !strings.Contains(err.Error(), "pipeline: stage table1/estimator") {
+		t.Fatalf("err = %v, want stage-named wrap", err)
+	}
+}
+
+func TestThenComposesAndStopsBetweenStages(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	first := NewStage(Scenario, func(ctx context.Context, in int) (int, error) {
+		cancel() // cancellation lands while the first stage is running
+		return in + 1, nil
+	})
+	secondRan := false
+	second := NewStage(Estimator, func(ctx context.Context, in int) (int, error) {
+		secondRan = true
+		return in * 10, nil
+	})
+	_, err := Then(first, second).Run(ctx, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v want context.Canceled", err)
+	}
+	if secondRan {
+		t.Fatal("second stage ran past the cancellation barrier")
+	}
+}
+
+func TestThenHappyPath(t *testing.T) {
+	inc := NewStage("inc", func(ctx context.Context, in int) (int, error) { return in + 1, nil })
+	str := NewStage("str", func(ctx context.Context, in int) (string, error) {
+		return strings.Repeat("x", in), nil
+	})
+	out, err := Then(inc, str).Run(context.Background(), 2)
+	if err != nil || out != "xxx" {
+		t.Fatalf("Then = %q, %v", out, err)
+	}
+}
+
+func TestCompositeDoesNotRewrapStageErrors(t *testing.T) {
+	sentinel := errors.New("boom")
+	failing := NewStage("table1/dataset", func(ctx context.Context, in int) (int, error) {
+		return 0, sentinel
+	})
+	next := NewStage("table1/estimator", func(ctx context.Context, in int) (int, error) {
+		return in, nil
+	})
+	_, err := Then(failing, next).Run(context.Background(), 1)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v want wrapped sentinel", err)
+	}
+	// Only the innermost seam names the error; the composite adds nothing.
+	if got, want := err.Error(), "pipeline: stage table1/dataset: boom"; got != want {
+		t.Fatalf("err = %q want %q", got, want)
+	}
+}
+
+func TestGuard(t *testing.T) {
+	if err := Guard(context.Background(), "chaos/sweep"); err != nil {
+		t.Fatalf("Guard on live ctx = %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Guard(ctx, "chaos/sweep")
+	if !errors.Is(err, context.Canceled) || !strings.Contains(err.Error(), "chaos/sweep") {
+		t.Fatalf("Guard = %v", err)
+	}
+}

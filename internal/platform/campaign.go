@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"context"
 	"fmt"
 
 	"sisyphus/internal/faults"
@@ -167,8 +168,15 @@ func (c *Campaign) Flush() error {
 
 // RunUntil steps the campaign until the engine clock reaches hour, then
 // flushes any reorder-held records.
-func (c *Campaign) RunUntil(hour float64) error {
+//
+// ctx is checked before every step: cancelling it returns ctx.Err() without
+// running further steps or flushing, so a cancelled campaign never writes a
+// partial tail of reorder-held records into the store.
+func (c *Campaign) RunUntil(ctx context.Context, hour float64) error {
 	for c.Prober.Engine.Hour() < hour {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := c.Step(); err != nil {
 			return err
 		}

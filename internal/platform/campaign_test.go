@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"context"
 	"testing"
 
 	"sisyphus/internal/netsim/engine"
@@ -37,7 +38,7 @@ func TestCampaignCollectsAllStreams(t *testing.T) {
 	// A route change mid-campaign for the watch to catch.
 	e.Schedule(engine.EvJoinIXP(10, s.IXPName, 328745, 0))
 
-	if err := c.RunUntil(30); err != nil {
+	if err := c.RunUntil(context.Background(), 30); err != nil {
 		t.Fatal(err)
 	}
 	counts := c.IntentCounts()
