@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet race verify bench bench-stages
 
 build:
 	$(GO) build ./...
@@ -32,3 +32,12 @@ verify: build vet race
 BENCHTIME ?= 1s
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -timeout 60m . | $(GO) run ./cmd/benchjson -out BENCH_sisyphus.json
+
+# Fold per-stage wall times from a traced suite run into the benchmark
+# report: spans from `sisyphus -trace` aggregate under a "stages" key in
+# BENCH_sisyphus.json, next to (and without disturbing) the micro-benchmark
+# results.
+TRACE ?= trace.jsonl
+bench-stages:
+	$(GO) run ./cmd/sisyphus -all -seed 42 -trace $(TRACE) > /dev/null
+	$(GO) run ./cmd/benchjson -merge $(TRACE) -out BENCH_sisyphus.json

@@ -7,6 +7,12 @@
 // Usage:
 //
 //	go test -bench=. -benchmem . | benchjson -out BENCH_sisyphus.json
+//	benchjson -merge trace.jsonl -out BENCH_sisyphus.json
+//
+// The second form folds a `sisyphus -trace` span log into an existing
+// report: spans aggregate per (scope, span) into stage-level wall-time
+// rows under a "stages" key, so CI tracks pipeline stage timings next to
+// the micro-benchmarks. Stdin is not read in merge mode.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -28,13 +35,26 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 }
 
+// StageTiming is one aggregated pipeline-stage row from a span trace: every
+// span with the same (scope, span) pair folds into one entry.
+type StageTiming struct {
+	Scope   string  `json:"scope,omitempty"`
+	Span    string  `json:"span"`
+	Count   int     `json:"count"`
+	TotalMs float64 `json:"total_ms"`
+	MeanMs  float64 `json:"mean_ms"`
+	Items   int     `json:"items,omitempty"`
+	Errors  int     `json:"errors,omitempty"`
+}
+
 // Report is the emitted document.
 type Report struct {
-	Goos    string   `json:"goos,omitempty"`
-	Goarch  string   `json:"goarch,omitempty"`
-	Pkg     string   `json:"pkg,omitempty"`
-	CPU     string   `json:"cpu,omitempty"`
-	Results []Result `json:"results"`
+	Goos    string        `json:"goos,omitempty"`
+	Goarch  string        `json:"goarch,omitempty"`
+	Pkg     string        `json:"pkg,omitempty"`
+	CPU     string        `json:"cpu,omitempty"`
+	Results []Result      `json:"results"`
+	Stages  []StageTiming `json:"stages,omitempty"`
 }
 
 // parseLine parses a single "BenchmarkX-8  100  123 ns/op  45 B/op  6 allocs/op"
@@ -100,9 +120,108 @@ func run(out string) error {
 	return os.WriteFile(out, append(b, '\n'), 0o644)
 }
 
+// span mirrors the obs.Span JSONL schema; only the fields the aggregation
+// needs are decoded.
+type span struct {
+	Span  string  `json:"span"`
+	Scope string  `json:"scope"`
+	DurMs float64 `json:"dur_ms"`
+	Items int     `json:"items"`
+	Err   string  `json:"err"`
+}
+
+// parseTrace aggregates a JSONL span log into sorted stage timings. A line
+// that is not a valid span object is an error — a trace half-written by a
+// crashed run should fail loudly, not fold into a misleading report.
+func parseTrace(path string) ([]StageTiming, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	type key struct{ scope, name string }
+	agg := make(map[key]*StageTiming)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var s span
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+		}
+		if s.Span == "" {
+			return nil, fmt.Errorf("%s:%d: span record has no name", path, lineNo)
+		}
+		k := key{s.Scope, s.Span}
+		t, ok := agg[k]
+		if !ok {
+			t = &StageTiming{Scope: s.Scope, Span: s.Span}
+			agg[k] = t
+		}
+		t.Count++
+		t.TotalMs += s.DurMs
+		t.Items += s.Items
+		if s.Err != "" {
+			t.Errors++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	stages := make([]StageTiming, 0, len(agg))
+	for _, t := range agg {
+		t.MeanMs = t.TotalMs / float64(t.Count)
+		stages = append(stages, *t)
+	}
+	sort.Slice(stages, func(i, j int) bool {
+		if stages[i].Scope != stages[j].Scope {
+			return stages[i].Scope < stages[j].Scope
+		}
+		return stages[i].Span < stages[j].Span
+	})
+	return stages, nil
+}
+
+// merge folds a span trace into the report at out, preserving any benchmark
+// results already recorded there. A missing report starts empty: merging a
+// trace before the first bench run is legitimate.
+func merge(out, tracePath string) error {
+	rep := Report{}
+	if b, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(b, &rep); err != nil {
+			return fmt.Errorf("%s: %w", out, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	stages, err := parseTrace(tracePath)
+	if err != nil {
+		return err
+	}
+	rep.Stages = stages
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(b, '\n'), 0o644)
+}
+
 func main() {
 	out := flag.String("out", "BENCH_sisyphus.json", "path for the JSON report")
+	mergeTrace := flag.String("merge", "", "fold a sisyphus -trace JSONL span log into the report instead of reading stdin")
 	flag.Parse()
+	if *mergeTrace != "" {
+		if err := merge(*out, *mergeTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

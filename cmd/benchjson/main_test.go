@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseTraceAggregates(t *testing.T) {
+	trace := writeFile(t, t.TempDir(), "trace.jsonl", strings.Join([]string{
+		`{"span":"table1/estimator","scope":"table1","start_ms":0,"dur_ms":10,"items":4}`,
+		``, // blank lines are tolerated
+		`{"span":"table1/estimator","scope":"table1","start_ms":10,"dur_ms":30,"items":6,"err":"boom"}`,
+		`{"span":"collider/scenario","scope":"collider","start_ms":2,"dur_ms":5}`,
+	}, "\n")+"\n")
+	stages, err := parseTrace(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 2 {
+		t.Fatalf("got %d stages, want 2: %+v", len(stages), stages)
+	}
+	// Sorted by scope then span: collider first.
+	if stages[0].Scope != "collider" || stages[0].Count != 1 || stages[0].TotalMs != 5 {
+		t.Fatalf("stage 0 = %+v", stages[0])
+	}
+	s := stages[1]
+	if s.Scope != "table1" || s.Span != "table1/estimator" {
+		t.Fatalf("stage 1 = %+v", s)
+	}
+	if s.Count != 2 || s.TotalMs != 40 || s.MeanMs != 20 || s.Items != 10 || s.Errors != 1 {
+		t.Fatalf("aggregation wrong: %+v", s)
+	}
+}
+
+func TestParseTraceRejectsBadLines(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct{ name, content, wantSub string }{
+		{"not json", "{broken\n", ":1:"},
+		{"missing span name", `{"scope":"x","dur_ms":1}` + "\n", "no name"},
+		{"bad mid-file", `{"span":"a","dur_ms":1}` + "\n" + "garbage\n", ":2:"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := parseTrace(writeFile(t, dir, "t-"+strings.ReplaceAll(c.name, " ", "-")+".jsonl", c.content))
+			if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error = %v, want substring %q", err, c.wantSub)
+			}
+		})
+	}
+	if _, err := parseTrace(filepath.Join(dir, "absent.jsonl")); err == nil {
+		t.Fatal("missing trace file did not error")
+	}
+}
+
+// TestMergePreservesBenchResults: -merge folds stages into an existing
+// report without disturbing recorded benchmark rows, and re-merging
+// replaces rather than appends.
+func TestMergePreservesBenchResults(t *testing.T) {
+	dir := t.TempDir()
+	out := writeFile(t, dir, "bench.json", `{
+  "goos": "linux",
+  "results": [{"name": "BenchmarkX-1", "iterations": 10, "ns_per_op": 123}]
+}`)
+	trace := writeFile(t, dir, "trace.jsonl",
+		`{"span":"table1/report","scope":"table1","dur_ms":2}`+"\n")
+	for i := 0; i < 2; i++ { // idempotent across re-merges
+		if err := merge(out, trace); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || len(rep.Results) != 1 || rep.Results[0].NsPerOp != 123 {
+		t.Fatalf("merge disturbed benchmark rows: %+v", rep)
+	}
+	if len(rep.Stages) != 1 || rep.Stages[0].Span != "table1/report" || rep.Stages[0].MeanMs != 2 {
+		t.Fatalf("stages = %+v", rep.Stages)
+	}
+}
+
+func TestMergeStartsEmptyWithoutReport(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "fresh.json")
+	trace := writeFile(t, dir, "trace.jsonl", `{"span":"a/scenario","dur_ms":1}`+"\n")
+	if err := merge(out, trace); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 || len(rep.Stages) != 1 {
+		t.Fatalf("fresh merge report = %+v", rep)
+	}
+}
+
+func TestMergeRejectsCorruptReport(t *testing.T) {
+	dir := t.TempDir()
+	out := writeFile(t, dir, "bench.json", "{corrupt")
+	trace := writeFile(t, dir, "trace.jsonl", `{"span":"a","dur_ms":1}`+"\n")
+	if err := merge(out, trace); err == nil {
+		t.Fatal("corrupt existing report did not error")
+	}
+}
+
+func TestParseLineFields(t *testing.T) {
+	r, ok := parseLine("BenchmarkFoo-8   120   9876 ns/op   32 B/op   2 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line not parsed")
+	}
+	if r.Name != "BenchmarkFoo-8" || r.Iterations != 120 || r.NsPerOp != 9876 || r.BytesPerOp != 32 || r.AllocsPerOp != 2 {
+		t.Fatalf("parsed = %+v", r)
+	}
+	for _, line := range []string{"", "ok  \tsisyphus\t1.2s", "goos: linux", "BenchmarkBad notanumber 5 ns/op"} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("non-benchmark line parsed: %q", line)
+		}
+	}
+}

@@ -6,11 +6,18 @@
 //	sisyphus -list
 //	sisyphus -experiment table1 [-seed 42]
 //	sisyphus -all [-parallel] [-workers 8] [-timeout 5m]
+//	sisyphus -all -trace run.jsonl -metrics [-pprof localhost:6060]
 //
 // The whole run is governed by one context: SIGINT (Ctrl-C) or an elapsed
 // -timeout cancels it, experiments stop at their next pipeline-stage
 // boundary, and a cancelled -all run reports which experiments completed
 // before exiting non-zero.
+//
+// The observability flags are strictly additive: -trace writes a JSONL span
+// log after the run, -metrics appends a counter/gauge summary (an object
+// under a "metrics" key in -json mode), and -pprof serves net/http/pprof
+// for the run's duration. With all three off no recorder exists and the
+// experiment output is byte-identical to a build without the layer.
 package main
 
 import (
@@ -19,11 +26,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 
 	"sisyphus/internal/experiments"
+	"sisyphus/internal/obs"
 	"sisyphus/internal/parallel"
 )
 
@@ -37,6 +49,24 @@ func validateFlags(workersSet bool, workers int, parallelMode bool) error {
 	}
 	if workersSet && !parallelMode {
 		return fmt.Errorf("-workers only applies with -parallel; add -parallel or drop -workers")
+	}
+	return nil
+}
+
+// validateObsFlags rejects observability flags on invocations that run no
+// experiments (-list or no mode at all): a trace or metrics request that
+// could only ever produce an empty report is a mistake, not a no-op.
+func validateObsFlags(trace string, metrics bool, pprofAddr string, runs bool) error {
+	if runs {
+		return nil
+	}
+	switch {
+	case trace != "":
+		return fmt.Errorf("-trace requires a run (-all or -experiment)")
+	case metrics:
+		return fmt.Errorf("-metrics requires a run (-all or -experiment)")
+	case pprofAddr != "":
+		return fmt.Errorf("-pprof requires a run (-all or -experiment)")
 	}
 	return nil
 }
@@ -62,16 +92,53 @@ func exitCancelled(err error, completed, notRun []string) {
 	os.Exit(1)
 }
 
+// writeMetricsJSON emits the recorder's metrics as a single JSON object under
+// a "metrics" key — appended after the per-experiment objects in -json mode
+// so those stay byte-identical to a metrics-free run.
+func writeMetricsJSON(w io.Writer, m obs.Metrics) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]obs.Metrics{"metrics": m})
+}
+
+// writeTrace writes the recorder's span log as JSONL to path.
+func writeTrace(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// servePprof binds addr and serves net/http/pprof (on the default mux) in
+// the background for the remainder of the process. Binding synchronously
+// means a bad address fails fast instead of being discovered mid-run.
+func servePprof(addr string) (io.Closer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = http.Serve(ln, nil) }()
+	return ln, nil
+}
+
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list available experiments")
-		exp      = flag.String("experiment", "", "experiment id to run")
-		all      = flag.Bool("all", false, "run every experiment")
-		seed     = flag.Uint64("seed", 42, "random seed")
-		asJSON   = flag.Bool("json", false, "emit results as JSON instead of tables")
-		par      = flag.Bool("parallel", false, "with -all, run independent experiments concurrently (output is bit-identical to sequential)")
-		nworkers = flag.Int("workers", 0, "worker-pool width for parallel stages (0 = GOMAXPROCS)")
-		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (e.g. 90s, 10m); 0 = no limit")
+		list      = flag.Bool("list", false, "list available experiments")
+		exp       = flag.String("experiment", "", "experiment id to run")
+		all       = flag.Bool("all", false, "run every experiment")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		asJSON    = flag.Bool("json", false, "emit results as JSON instead of tables")
+		par       = flag.Bool("parallel", false, "with -all, run independent experiments concurrently (output is bit-identical to sequential)")
+		nworkers  = flag.Int("workers", 0, "worker-pool width for parallel stages (0 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this duration (e.g. 90s, 10m); 0 = no limit")
+		traceFile = flag.String("trace", "", "write a JSONL span trace of the run to this file")
+		metrics   = flag.Bool("metrics", false, "print a metrics summary after the run (a \"metrics\" JSON object with -json)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run")
 	)
 	flag.Parse()
 	workersSet := false
@@ -86,6 +153,11 @@ func main() {
 	}
 	if *timeout < 0 {
 		fmt.Fprintf(os.Stderr, "sisyphus: -timeout must be >= 0 (got %v)\n", *timeout)
+		os.Exit(2)
+	}
+	runs := *all || *exp != ""
+	if err := validateObsFlags(*traceFile, *metrics, *pprofAddr, runs); err != nil {
+		fmt.Fprintln(os.Stderr, "sisyphus:", err)
 		os.Exit(2)
 	}
 
@@ -103,6 +175,24 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+
+	// The recorder exists only when something will consume it; otherwise the
+	// context carries no recorder and every obs call inside the experiments
+	// is the nil fast path (the zero-cost-when-off invariant).
+	var rec *obs.Recorder
+	if *traceFile != "" || *metrics {
+		rec = obs.NewRecorder()
+		ctx = obs.With(ctx, rec)
+	}
+	if *pprofAddr != "" {
+		closer, err := servePprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sisyphus: -pprof: %v\n", err)
+			os.Exit(2)
+		}
+		defer closer.Close()
+	}
+
 	cfg := experiments.Config{Seed: *seed, Pool: pool}
 
 	emit := func(res experiments.Renderable) {
@@ -186,5 +276,27 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// Observability epilogue — runs only after a fully successful run, so
+	// trace files never hold a silently truncated span log.
+	if rec != nil {
+		if *traceFile != "" {
+			if err := writeTrace(*traceFile, rec); err != nil {
+				fmt.Fprintln(os.Stderr, "sisyphus: -trace:", err)
+				os.Exit(1)
+			}
+		}
+		if *metrics {
+			if *asJSON {
+				if err := writeMetricsJSON(os.Stdout, rec.Metrics()); err != nil {
+					fmt.Fprintln(os.Stderr, "sisyphus: -metrics:", err)
+					os.Exit(1)
+				}
+			} else {
+				fmt.Print("=== metrics ===\n\n")
+				fmt.Print(rec.Metrics().Render())
+			}
+		}
 	}
 }

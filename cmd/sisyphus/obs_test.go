@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sisyphus/internal/obs"
+)
+
+func TestValidateObsFlags(t *testing.T) {
+	cases := []struct {
+		name      string
+		trace     string
+		metrics   bool
+		pprofAddr string
+		runs      bool
+		wantErr   string
+	}{
+		{"all off, no run", "", false, "", false, ""},
+		{"all off, run", "", false, "", true, ""},
+		{"trace with run", "t.jsonl", false, "", true, ""},
+		{"metrics with run", "", true, "", true, ""},
+		{"pprof with run", "", false, "localhost:0", true, ""},
+		{"trace without run", "t.jsonl", false, "", false, "-trace requires a run"},
+		{"metrics without run", "", true, "", false, "-metrics requires a run"},
+		{"pprof without run", "", false, "localhost:0", false, "-pprof requires a run"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateObsFlags(c.trace, c.metrics, c.pprofAddr, c.runs)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestWriteMetricsJSON: the -metrics -json payload is one indented object
+// under a "metrics" key that decodes back to the recorder's snapshot.
+func TestWriteMetricsJSON(t *testing.T) {
+	rec := obs.NewRecorder()
+	ctx := obs.Scoped(obs.With(context.Background(), rec), "e1")
+	obs.Add(ctx, "fits", 3)
+	obs.Gauge(ctx, "coverage", 0.5)
+
+	var buf bytes.Buffer
+	if err := writeMetricsJSON(&buf, rec.Metrics()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "{\n") || !strings.HasSuffix(buf.String(), "}\n") {
+		t.Fatalf("payload is not an indented object: %q", buf.String())
+	}
+	var back struct {
+		Metrics obs.Metrics `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Metrics, rec.Metrics()) {
+		t.Fatalf("round trip = %v, want %v", back.Metrics, rec.Metrics())
+	}
+}
+
+// TestWriteTraceFile: writeTrace produces a JSONL file whose lines decode as
+// spans; an unwritable path is an error, not a silent no-op.
+func TestWriteTraceFile(t *testing.T) {
+	rec := obs.NewRecorder()
+	ctx := obs.With(context.Background(), rec)
+	sp := obs.StartSpan(ctx, "e/scenario")
+	sp.End(nil)
+
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := writeTrace(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(blob), "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1", len(lines))
+	}
+	var s obs.Span
+	if err := json.Unmarshal([]byte(lines[0]), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "e/scenario" {
+		t.Fatalf("span = %+v", s)
+	}
+	if err := writeTrace(filepath.Join(t.TempDir(), "no", "such", "dir", "t.jsonl"), rec); err == nil {
+		t.Fatal("unwritable trace path did not error")
+	}
+}
+
+// TestServePprof: the listener binds synchronously (bad address fails fast)
+// and closes cleanly.
+func TestServePprof(t *testing.T) {
+	closer, err := servePprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := closer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := servePprof("256.256.256.256:bad"); err == nil {
+		t.Fatal("invalid pprof address did not error")
+	}
+}

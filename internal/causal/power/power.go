@@ -18,6 +18,7 @@ import (
 
 	"sisyphus/internal/causal/synthetic"
 	"sisyphus/internal/mathx"
+	"sisyphus/internal/obs"
 	"sisyphus/internal/parallel"
 )
 
@@ -146,6 +147,8 @@ func (d SCDesign) Power(ctx context.Context, pool parallel.Pool, effect, alpha f
 			detected++
 		}
 	}
+	// Monte-Carlo shard accounting (no-op without a recorder on ctx).
+	obs.Add(ctx, "power.trials", int64(trials))
 	return float64(detected) / float64(trials), nil
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"sisyphus/internal/causal/dag"
 	"sisyphus/internal/mathx"
+	"sisyphus/internal/obs"
 	"sisyphus/internal/parallel"
 )
 
@@ -233,6 +234,8 @@ func (m *Model) ATE(ctx context.Context, pool parallel.Pool, r *mathx.RNG, x str
 		sumHi += d.hi
 		sumLo += d.lo
 	}
+	// Monte-Carlo shard accounting (no-op without a recorder on ctx).
+	obs.Add(ctx, "scm.mc_draws", int64(n))
 	return (sumHi - sumLo) / float64(n), nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"sisyphus/internal/mathx"
+	"sisyphus/internal/obs"
 	"sisyphus/internal/parallel"
 )
 
@@ -112,6 +113,11 @@ func PlaceboTest(ctx context.Context, p *Panel, treated string, t0 int, cfg Conf
 
 	pval := placeboPValue(real.RMSERatio, ratios, len(skipped))
 	sort.Strings(skipped)
+	// Run-trace accounting: the quantities this test computed and would
+	// otherwise discard. No-ops without a recorder on ctx.
+	obs.Add(ctx, "placebo.tests", 1)
+	obs.Add(ctx, "placebo.fits_attempted", int64(len(donorUnits)))
+	obs.Add(ctx, "placebo.fits_skipped", int64(len(skipped)))
 	return &PlaceboResult{
 		Treated: real,
 		Ratios:  ratios,

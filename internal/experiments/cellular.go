@@ -58,82 +58,90 @@ func RunCellular(ctx context.Context, seed uint64, n int) (*CellularResult, erro
 	if n <= 0 {
 		n = 20000
 	}
-	m := scm.New()
-	if err := m.DefineLinear("density", nil, 0, scm.GaussianNoise(1)); err != nil {
-		return nil, err
-	}
-	if err := m.DefineLinear("signal", map[string]float64{"density": 0.9}, 0, scm.GaussianNoise(0.6)); err != nil {
-		return nil, err
-	}
-	if err := m.DefineLinear("interference", map[string]float64{"density": 0.8}, 0, scm.GaussianNoise(0.4)); err != nil {
-		return nil, err
-	}
-	if err := m.DefineLinear("failure", map[string]float64{"interference": 0.5, "signal": -0.3}, 1, scm.GaussianNoise(0.3)); err != nil {
-		return nil, err
-	}
-	cols, err := m.SampleN(mathx.NewRNG(seed), n)
-	if err != nil {
-		return nil, err
-	}
-	f, err := data.FromColumns(cols)
-	if err != nil {
-		return nil, err
-	}
-
 	res := &CellularResult{N: n, TrueCoefficient: -0.3}
-	res.NaiveCorr = mathx.Correlation(cols["signal"], cols["failure"])
-
-	naive, err := estimate.OLS(f, "failure", "signal")
-	if err != nil {
-		return nil, err
-	}
-	c, _ := naive.Coefficient("signal")
-	se, _ := naive.CoefficientSE("signal")
-	res.NaiveSlope = estimate.Estimate{Method: "naive OLS", Effect: c, SE: se, N: n}
-
-	adj, err := estimate.OLS(f, "failure", "signal", "density")
-	if err != nil {
-		return nil, err
-	}
-	c2, _ := adj.Coefficient("signal")
-	se2, _ := adj.CoefficientSE("signal")
-	res.AdjustedSlope = estimate.Estimate{Method: "adjusted OLS", Effect: c2, SE: se2, N: n}
-
-	// Stratified version needs a binary treatment: median-split the signal.
-	med := mathx.Median(cols["signal"])
-	bin := make([]float64, n)
-	for i, v := range cols["signal"] {
-		if v > med {
-			bin[i] = 1
+	var cols map[string][]float64
+	var f, fb *data.Frame
+	var bin []float64
+	err := stagedRun(ctx, "cellular", func(ctx context.Context) error {
+		m := scm.New()
+		if err := m.DefineLinear("density", nil, 0, scm.GaussianNoise(1)); err != nil {
+			return err
 		}
-	}
-	fb := data.New()
-	if err := fb.AddColumn("strongSignal", bin); err != nil {
-		return nil, err
-	}
-	if err := fb.AddColumn("failure", cols["failure"]); err != nil {
-		return nil, err
-	}
-	if err := fb.AddColumn("density", cols["density"]); err != nil {
-		return nil, err
-	}
-	strat, err := estimate.Stratified(fb, "strongSignal", "failure", []string{"density"}, 20)
+		if err := m.DefineLinear("signal", map[string]float64{"density": 0.9}, 0, scm.GaussianNoise(0.6)); err != nil {
+			return err
+		}
+		if err := m.DefineLinear("interference", map[string]float64{"density": 0.8}, 0, scm.GaussianNoise(0.4)); err != nil {
+			return err
+		}
+		if err := m.DefineLinear("failure", map[string]float64{"interference": 0.5, "signal": -0.3}, 1, scm.GaussianNoise(0.3)); err != nil {
+			return err
+		}
+		var err error
+		cols, err = m.SampleN(mathx.NewRNG(seed), n)
+		return err
+	}, func(ctx context.Context) error {
+		var err error
+		if f, err = data.FromColumns(cols); err != nil {
+			return err
+		}
+		// The stratified estimator needs a binary treatment: median-split
+		// the signal.
+		med := mathx.Median(cols["signal"])
+		bin = make([]float64, n)
+		for i, v := range cols["signal"] {
+			if v > med {
+				bin[i] = 1
+			}
+		}
+		fb = data.New()
+		if err := fb.AddColumn("strongSignal", bin); err != nil {
+			return err
+		}
+		if err := fb.AddColumn("failure", cols["failure"]); err != nil {
+			return err
+		}
+		return fb.AddColumn("density", cols["density"])
+	}, func(ctx context.Context) error {
+		res.NaiveCorr = mathx.Correlation(cols["signal"], cols["failure"])
+
+		naive, err := estimate.OLS(f, "failure", "signal")
+		if err != nil {
+			return err
+		}
+		c, _ := naive.Coefficient("signal")
+		se, _ := naive.CoefficientSE("signal")
+		res.NaiveSlope = estimate.Estimate{Method: "naive OLS", Effect: c, SE: se, N: n}
+
+		adj, err := estimate.OLS(f, "failure", "signal", "density")
+		if err != nil {
+			return err
+		}
+		c2, _ := adj.Coefficient("signal")
+		se2, _ := adj.CoefficientSE("signal")
+		res.AdjustedSlope = estimate.Estimate{Method: "adjusted OLS", Effect: c2, SE: se2, N: n}
+
+		strat, err := estimate.Stratified(fb, "strongSignal", "failure", []string{"density"}, 20)
+		if err != nil {
+			return err
+		}
+		// Scale the binary contrast to a per-unit-signal slope for display:
+		// E[signal | top half] − E[signal | bottom half].
+		var hi, lo []float64
+		for i, v := range cols["signal"] {
+			if bin[i] == 1 {
+				hi = append(hi, v)
+			} else {
+				lo = append(lo, v)
+			}
+		}
+		gap := mathx.Mean(hi) - mathx.Mean(lo)
+		res.StratifiedSlope = estimate.Estimate{
+			Method: strat.Method, Effect: strat.Effect / gap, SE: strat.SE / gap, N: strat.N,
+		}
+		return nil
+	}, nil)
 	if err != nil {
 		return nil, err
-	}
-	// Scale the binary contrast to a per-unit-signal slope for display:
-	// E[signal | top half] − E[signal | bottom half].
-	var hi, lo []float64
-	for i, v := range cols["signal"] {
-		if bin[i] == 1 {
-			hi = append(hi, v)
-		} else {
-			lo = append(lo, v)
-		}
-	}
-	gap := mathx.Mean(hi) - mathx.Mean(lo)
-	res.StratifiedSlope = estimate.Estimate{
-		Method: strat.Method, Effect: strat.Effect / gap, SE: strat.SE / gap, N: strat.N,
 	}
 	return res, nil
 }

@@ -62,6 +62,43 @@ func RunCollider(ctx context.Context, pool parallel.Pool, seed uint64, hours int
 	if hours <= 0 {
 		hours = 2000
 	}
+	res := &ColliderResult{Hours: hours}
+	var change, degraded, tested []float64
+	var selChange, selDegraded []float64
+	err := stagedRun(ctx, "collider", func(ctx context.Context) error {
+		return colliderScenario(ctx, pool, seed, hours, &change, &degraded, &tested)
+	}, func(ctx context.Context) error {
+		// Dataset: the selected subsample — hours where a test ran.
+		for i := range tested {
+			if tested[i] == 1 {
+				selChange = append(selChange, change[i])
+				selDegraded = append(selDegraded, degraded[i])
+			}
+		}
+		return nil
+	}, func(ctx context.Context) error {
+		res.PopulationCorr = mathx.Correlation(change, degraded)
+		res.PopChangeDegraded = condMean(degraded, change, 1)
+		res.PopNoChangeDegraded = condMean(degraded, change, 0)
+		res.SelectedCorr = mathx.Correlation(selChange, selDegraded)
+		res.SelChangeDegraded = condMean(selDegraded, selChange, 1)
+		res.SelNoChangeDegraded = condMean(selDegraded, selChange, 0)
+		return nil
+	}, func(ctx context.Context) error {
+		// The DAG-side warning §4 wants platforms to surface.
+		g := dag.MustParse("R -> T; D -> T")
+		res.Warnings = g.SelectionBiasWarnings([]string{"T"})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// colliderScenario builds the symmetric two-transit world and simulates it,
+// collecting the per-hour (route changed, degraded, tested) indicators.
+func colliderScenario(ctx context.Context, pool parallel.Pool, seed uint64, hours int, change, degraded, tested *[]float64) error {
 	// Symmetric world: two equal transits, both in Johannesburg, equal
 	// base utilization, so switching between them is performance-neutral.
 	b := topo.NewBuilder(nil).
@@ -75,13 +112,13 @@ func RunCollider(ctx context.Context, pool parallel.Pool, seed uint64, hours int
 		Connect(4001, "Johannesburg", topo.CustomerOf, 101, "Johannesburg", topo.WithBaseUtil(0.4))
 	tp, err := b.Build()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	e := engine.New(tp, seed, engine.Config{Pool: pool}).Bind(ctx)
 	pr := probe.NewProber(e, seed+1)
 	src, err := tp.FindPoP(7000, "Johannesburg")
 	if err != nil {
-		return nil, err
+		return err
 	}
 
 	// Exogenous route flips: an operator alternates preferred transit at
@@ -101,7 +138,7 @@ func RunCollider(ctx context.Context, pool parallel.Pool, seed uint64, hours int
 	// create genuine degradation episodes unrelated to the flips.
 	rel, err := tp.Relationships()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	burstRNG := mathx.NewRNG(seed + 3)
 	for h := 15.0; h < float64(hours); h += 30 + 80*burstRNG.Float64() {
@@ -119,17 +156,16 @@ func RunCollider(ctx context.Context, pool parallel.Pool, seed uint64, hours int
 	um.PerfBoost = 8
 	um.ChangeBoost = 10
 
-	var change, degraded, tested []float64
 	for e.Hour() < float64(hours) {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
 		if err := e.Step(); err != nil {
-			return nil, err
+			return err
 		}
 		obs, _, err := um.Step(pr)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		o := obs[0]
 		c, d, tt := 0.0, 0.0, 0.0
@@ -142,31 +178,11 @@ func RunCollider(ctx context.Context, pool parallel.Pool, seed uint64, hours int
 		if o.TestsRun > 0 {
 			tt = 1
 		}
-		change = append(change, c)
-		degraded = append(degraded, d)
-		tested = append(tested, tt)
+		*change = append(*change, c)
+		*degraded = append(*degraded, d)
+		*tested = append(*tested, tt)
 	}
-
-	res := &ColliderResult{Hours: hours}
-	res.PopulationCorr = mathx.Correlation(change, degraded)
-	res.PopChangeDegraded = condMean(degraded, change, 1)
-	res.PopNoChangeDegraded = condMean(degraded, change, 0)
-
-	var selChange, selDegraded []float64
-	for i := range tested {
-		if tested[i] == 1 {
-			selChange = append(selChange, change[i])
-			selDegraded = append(selDegraded, degraded[i])
-		}
-	}
-	res.SelectedCorr = mathx.Correlation(selChange, selDegraded)
-	res.SelChangeDegraded = condMean(selDegraded, selChange, 1)
-	res.SelNoChangeDegraded = condMean(selDegraded, selChange, 0)
-
-	// The DAG-side warning §4 wants platforms to surface.
-	g := dag.MustParse("R -> T; D -> T")
-	res.Warnings = g.SelectionBiasWarnings([]string{"T"})
-	return res, nil
+	return nil
 }
 
 func condMean(y, cond []float64, v float64) float64 {

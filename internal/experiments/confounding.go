@@ -55,6 +55,66 @@ func RunConfounding(ctx context.Context, pool parallel.Pool, seed uint64, hours 
 	if hours <= 0 {
 		hours = 1500
 	}
+	res := &ConfoundingResult{Hours: hours}
+	var sim *confoundingSim
+	var f *data.Frame
+	err := stagedRun(ctx, "confounding", func(ctx context.Context) error {
+		var err error
+		sim, err = confoundingScenario(ctx, pool, seed, hours)
+		return err
+	}, func(ctx context.Context) error {
+		var err error
+		f, err = data.FromColumns(map[string][]float64{
+			"R": sim.rCol, "L": sim.lCol, "C": sim.cCol, "hour": sim.hourCol,
+		})
+		return err
+	}, func(ctx context.Context) error {
+		var err error
+		res.RouteShare = sim.altShare / float64(len(sim.rCol))
+		if res.Naive, err = estimate.NaiveAssociation(f, "R", "L"); err != nil {
+			return err
+		}
+		if res.Stratified, err = estimate.Stratified(f, "R", "L", []string{"C"}, 10); err != nil {
+			return err
+		}
+		if res.Regression, err = estimate.Regression(f, "R", "L", []string{"C"}); err != nil {
+			return err
+		}
+		if res.IPW, err = estimate.IPW(f, "R", "L", []string{"C"}, 0.01); err != nil {
+			return err
+		}
+		res.TrueEffect = sim.trueSum / float64(sim.trueN)
+		return nil
+	}, func(ctx context.Context) error {
+		// The planning-side DAG analysis the paper advocates doing first.
+		g := dag.MustParse("C -> R; C -> L; R -> L")
+		sets, err := g.MinimalAdjustmentSets("R", "L")
+		if err != nil {
+			return err
+		}
+		res.DAGAnalysis = fmt.Sprintf("  graph: C -> R; C -> L; R -> L\n  backdoor paths: %v\n  minimal adjustment sets: %v\n",
+			pathStrings(g.BackdoorPaths("R", "L")), sets)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// confoundingSim holds the raw per-hour observational columns plus the
+// interventional ground-truth accumulators the scenario stage produces.
+type confoundingSim struct {
+	rCol, lCol, cCol, hourCol []float64
+	altShare                  float64
+	trueSum                   float64
+	trueN                     int
+}
+
+// confoundingScenario builds the South-Africa world with a load-adaptive
+// egress, simulates it, and collects the observational columns plus the
+// forced-route ground-truth contrast.
+func confoundingScenario(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*confoundingSim, error) {
 	s, err := scenario.BuildSouthAfrica()
 	if err != nil {
 		return nil, err
@@ -90,10 +150,7 @@ func RunConfounding(ctx context.Context, pool parallel.Pool, seed uint64, hours 
 	// confounding lives.
 	flipRNG := mathx.NewRNG(seed + 7)
 
-	var rCol, lCol, cCol, hourCol []float64
-	var trueSum float64
-	var trueN int
-	altShare := 0.0
+	sim := &confoundingSim{}
 	for e.Hour() < float64(hours) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -128,52 +185,21 @@ func RunConfounding(ctx context.Context, pool parallel.Pool, seed uint64, hours 
 				onAlt = 1
 			}
 		}
-		altShare += onAlt
-		rCol = append(rCol, onAlt)
-		lCol = append(lCol, perf.RTTms)
-		cCol = append(cCol, e.Utilization(primary))
-		hourCol = append(hourCol, e.Hour())
+		sim.altShare += onAlt
+		sim.rCol = append(sim.rCol, onAlt)
+		sim.lCol = append(sim.lCol, perf.RTTms)
+		sim.cCol = append(sim.cCol, e.Utilization(primary))
+		sim.hourCol = append(sim.hourCol, e.Hour())
 
 		// Ground truth: force each route in turn, same instant, same noise.
 		prefA, prefB, err := forcedContrast(e, src)
 		if err != nil {
 			return nil, err
 		}
-		trueSum += prefA - prefB
-		trueN++
+		sim.trueSum += prefA - prefB
+		sim.trueN++
 	}
-
-	f, err := data.FromColumns(map[string][]float64{
-		"R": rCol, "L": lCol, "C": cCol, "hour": hourCol,
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	res := &ConfoundingResult{Hours: hours, RouteShare: altShare / float64(len(rCol))}
-	if res.Naive, err = estimate.NaiveAssociation(f, "R", "L"); err != nil {
-		return nil, err
-	}
-	if res.Stratified, err = estimate.Stratified(f, "R", "L", []string{"C"}, 10); err != nil {
-		return nil, err
-	}
-	if res.Regression, err = estimate.Regression(f, "R", "L", []string{"C"}); err != nil {
-		return nil, err
-	}
-	if res.IPW, err = estimate.IPW(f, "R", "L", []string{"C"}, 0.01); err != nil {
-		return nil, err
-	}
-	res.TrueEffect = trueSum / float64(trueN)
-
-	// The planning-side DAG analysis the paper advocates doing first.
-	g := dag.MustParse("C -> R; C -> L; R -> L")
-	sets, err := g.MinimalAdjustmentSets("R", "L")
-	if err != nil {
-		return nil, err
-	}
-	res.DAGAnalysis = fmt.Sprintf("  graph: C -> R; C -> L; R -> L\n  backdoor paths: %v\n  minimal adjustment sets: %v\n",
-		pathStrings(g.BackdoorPaths("R", "L")), sets)
-	return res, nil
+	return sim, nil
 }
 
 // observeForced measures AS3741's performance with the given transit

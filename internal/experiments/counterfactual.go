@@ -120,52 +120,55 @@ func RunCounterfactual(ctx context.Context, pool parallel.Pool, seed uint64, hou
 		return e, cCol, rCol, lCol, nil
 	}
 
-	_, c1, r1, l1, err := run(true)
+	res := &CounterfactualResult{EventHour: eventHour}
+	var c1, r1, l1, l0 []float64
+	var eventIdx, obsIdx int
+	var f *data.Frame
+	err := stagedRun(ctx, "counterfactual", func(ctx context.Context) error {
+		var err error
+		if _, c1, r1, l1, err = run(true); err != nil {
+			return err
+		}
+		_, _, _, l0, err = run(false)
+		return err
+	}, func(ctx context.Context) error {
+		eventIdx = int(eventHour) // step index ≈ hour (1h steps), event fires at that step
+		if eventIdx+1 >= len(l1) {
+			return fmt.Errorf("experiments: event index out of range")
+		}
+		// Pick the first post-event hour as "the degraded call".
+		obsIdx = eventIdx + 1
+		// Fit the SCM on pre-event observational data only (the analyst
+		// cannot use the future).
+		var err error
+		f, err = data.FromColumns(map[string][]float64{
+			"C": c1[:eventIdx], "R": r1[:eventIdx], "L": l1[:eventIdx],
+		})
+		return err
+	}, func(ctx context.Context) error {
+		g := dag.MustParse("C -> R; C -> L; R -> L")
+		model, err := scm.FitLinear(g, f)
+		if err != nil {
+			return err
+		}
+		observed := map[string]float64{"C": c1[obsIdx], "R": r1[obsIdx], "L": l1[obsIdx]}
+		cf, err := model.Counterfactual(observed, map[string]float64{"R": 0})
+		if err != nil {
+			return err
+		}
+		res.FactualRTT = l1[obsIdx]
+		res.SCMPredicted = cf["L"]
+		res.ReplayTruth = l0[obsIdx]
+		res.FitN = eventIdx
+		res.AttributionSCM = res.FactualRTT - res.SCMPredicted
+		res.AttributionTru = res.FactualRTT - res.ReplayTruth
+		if coef, ok := model.Coefficient("L", "R"); ok {
+			res.CoefRtoL = coef
+		}
+		return nil
+	}, nil)
 	if err != nil {
 		return nil, err
-	}
-	_, _, _, l0, err := run(false)
-	if err != nil {
-		return nil, err
-	}
-
-	eventIdx := int(eventHour) // step index ≈ hour (1h steps), event fires at that step
-	if eventIdx+1 >= len(l1) {
-		return nil, fmt.Errorf("experiments: event index out of range")
-	}
-	// Pick the first post-event hour as "the degraded call".
-	obsIdx := eventIdx + 1
-
-	// Fit the SCM on pre-event observational data only (the analyst cannot
-	// use the future).
-	f, err := data.FromColumns(map[string][]float64{
-		"C": c1[:eventIdx], "R": r1[:eventIdx], "L": l1[:eventIdx],
-	})
-	if err != nil {
-		return nil, err
-	}
-	g := dag.MustParse("C -> R; C -> L; R -> L")
-	model, err := scm.FitLinear(g, f)
-	if err != nil {
-		return nil, err
-	}
-	observed := map[string]float64{"C": c1[obsIdx], "R": r1[obsIdx], "L": l1[obsIdx]}
-	cf, err := model.Counterfactual(observed, map[string]float64{"R": 0})
-	if err != nil {
-		return nil, err
-	}
-
-	res := &CounterfactualResult{
-		EventHour:    eventHour,
-		FactualRTT:   l1[obsIdx],
-		SCMPredicted: cf["L"],
-		ReplayTruth:  l0[obsIdx],
-		FitN:         eventIdx,
-	}
-	res.AttributionSCM = res.FactualRTT - res.SCMPredicted
-	res.AttributionTru = res.FactualRTT - res.ReplayTruth
-	if coef, ok := model.Coefficient("L", "R"); ok {
-		res.CoefRtoL = coef
 	}
 	_ = math.Abs
 	return res, nil

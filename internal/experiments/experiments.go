@@ -13,7 +13,9 @@ import (
 	"sort"
 	"strings"
 
+	"sisyphus/internal/obs"
 	"sisyphus/internal/parallel"
+	"sisyphus/internal/pipeline"
 )
 
 // Options is the marker interface for per-experiment typed options (trial
@@ -113,8 +115,12 @@ func register(e Experiment) {
 	// Registered runners return concrete result pointers; a failed run would
 	// otherwise surface as a typed-nil Renderable that compares non-nil.
 	// Normalize here so callers can rely on exactly one of (result, error).
+	// The wrapper also scopes the run's observability: every span and metric
+	// an experiment records lands under its ID (free when no recorder rides
+	// the context — Scoped returns ctx unchanged).
 	run := e.Run
 	e.Run = func(ctx context.Context, cfg Config) (Renderable, error) {
+		ctx = obs.Scoped(ctx, e.ID)
 		res, err := run(ctx, cfg)
 		if err != nil {
 			return nil, err
@@ -122,6 +128,34 @@ func register(e Experiment) {
 		return res, nil
 	}
 	registry[e.ID] = e
+}
+
+// stagedRun threads an experiment body through the four canonical pipeline
+// seams — Scenario → Dataset → Estimator → Report — as real pipeline stages
+// over closure-shared state. Each stage entry is a cancellation barrier and
+// a trace point, so every experiment run emits the same four-span shape and
+// stops within one seam of a cancelled context. A nil stage body is an
+// empty (but still traced) seam: some experiments have no separate dataset
+// step because simulation and extraction are one loop.
+//
+// The bodies run strictly in order in the calling goroutine; wrapping them
+// in stages adds no scheduling, no RNG draws, and no output — experiment
+// bytes are identical to the pre-stage sequential code.
+func stagedRun(ctx context.Context, id string, scenario, dataset, estimator, report func(context.Context) error) error {
+	type void = struct{}
+	lift := func(seam string, fn func(context.Context) error) pipeline.Stage[void, void] {
+		return pipeline.NewStage(id+"/"+seam, func(ctx context.Context, _ void) (void, error) {
+			if fn == nil {
+				return void{}, nil
+			}
+			return void{}, fn(ctx)
+		})
+	}
+	run := pipeline.Then(
+		pipeline.Then(lift(pipeline.Scenario, scenario), lift(pipeline.Dataset, dataset)),
+		pipeline.Then(lift(pipeline.Estimator, estimator), lift(pipeline.Report, report)))
+	_, err := run.Run(ctx, void{})
+	return err
 }
 
 // Get returns the experiment with the given ID.

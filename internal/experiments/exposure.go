@@ -51,117 +51,128 @@ func (r *ExposureResult) Render() string {
 // For each: static exposure = paths crossing the link now; dynamic impact =
 // reachability and RTT after the control plane reconverges without it.
 func RunExposure(ctx context.Context, pool parallel.Pool, seed uint64) (*ExposureResult, error) {
-	s, err := scenario.BuildSouthAfrica()
-	if err != nil {
-		return nil, err
-	}
-	e := engine.New(s.Topo, seed, engine.Config{Pool: pool}).Bind(ctx)
-	if err := e.RunUntil(12); err != nil {
-		return nil, err
-	}
-	rib, err := e.RIB()
-	if err != nil {
-		return nil, err
-	}
-
-	// The measurement pairs: every unit to BigContent.
 	type pair struct {
 		src topo.PoPID
 		u   scenario.Unit
 	}
-	var pairs []pair
-	for _, u := range s.AllUnits() {
-		src, err := s.UserPoP(u)
-		if err != nil {
-			return nil, err
-		}
-		pairs = append(pairs, pair{src, u})
-	}
-
-	paths := make(map[topo.PoPID]*bgp.Path)
-	baseRTT := make(map[topo.PoPID]float64)
-	for _, p := range pairs {
-		perf, err := e.PerfToAS(p.src, scenario.BigContent)
-		if err != nil {
-			return nil, err
-		}
-		paths[p.src] = perf.Path
-		baseRTT[p.src] = perf.RTTms
-	}
-
-	// Candidate failures: the backbone-facing and inter-transit links.
-	rel, err := s.Topo.Relationships()
-	if err != nil {
-		return nil, err
-	}
-	candidates := []struct {
+	type candidate struct {
 		name string
 		id   topo.LinkID
-	}{
-		{"TransitA–Backbone (JNB)", rel.Links[scenario.ZATransitA][scenario.EuroBackbone][0]},
-		{"TransitB–Backbone (JNB)", rel.Links[scenario.ZATransitB][scenario.EuroBackbone][0]},
-		{"TransitA–TransitB peering", rel.Links[scenario.ZATransitA][scenario.ZATransitB][0]},
-		{"BigContent–TransitA (JNB)", rel.Links[scenario.BigContent][scenario.ZATransitA][0]},
-		{"BigContent–TransitA (DUR)", rel.Links[scenario.BigContent][scenario.ZATransitA][1]},
-		// Single-homed access tails: tiny exposure, total impact.
-		{"Donor16637 access", rel.Links[16637][scenario.ZATransitA][0]},
-		{"Donor327700 access", rel.Links[327700][scenario.ZATransitB][0]},
 	}
-
-	res := &ExposureResult{Pairs: len(pairs)}
-	for _, cand := range candidates {
-		// Each candidate failure forces a full reconvergence; check between
-		// them so cancellation lands within one sweep entry.
-		if err := ctx.Err(); err != nil {
-			return nil, err
+	res := &ExposureResult{}
+	var s *scenario.SouthAfrica
+	var e *engine.Engine
+	var pairs []pair
+	var candidates []candidate
+	paths := make(map[topo.PoPID]*bgp.Path)
+	baseRTT := make(map[topo.PoPID]float64)
+	err := stagedRun(ctx, "exposure", func(ctx context.Context) error {
+		var err error
+		if s, err = scenario.BuildSouthAfrica(); err != nil {
+			return err
 		}
-		row := ExposureRow{Link: cand.name}
-		for _, p := range pairs {
-			if paths[p.src].CrossesLink(cand.id) {
-				row.Exposure++
+		e = engine.New(s.Topo, seed, engine.Config{Pool: pool}).Bind(ctx)
+		if err := e.RunUntil(12); err != nil {
+			return err
+		}
+		// Materialize the converged RIB before the static snapshot, exactly
+		// as an exposure analysis would.
+		_, err = e.RIB()
+		return err
+	}, func(ctx context.Context) error {
+		// The measurement pairs: every unit to BigContent, with their
+		// pre-failure paths and RTTs — the static view exposure analysis has.
+		for _, u := range s.AllUnits() {
+			src, err := s.UserPoP(u)
+			if err != nil {
+				return err
 			}
+			pairs = append(pairs, pair{src, u})
 		}
-		// Fail the link, recompute, and measure actual impact.
-		e.Policy.DenyLink[cand.id] = true
-		e.MarkDirty()
-		var shiftSum float64
-		var shiftN int
 		for _, p := range pairs {
 			perf, err := e.PerfToAS(p.src, scenario.BigContent)
 			if err != nil {
-				row.Unreachable++
-				continue
+				return err
 			}
-			shiftSum += perf.RTTms - baseRTT[p.src]
-			shiftN++
+			paths[p.src] = perf.Path
+			baseRTT[p.src] = perf.RTTms
 		}
-		if shiftN > 0 {
-			row.MeanRTTShift = shiftSum / float64(shiftN)
+		// Candidate failures: the backbone-facing and inter-transit links.
+		rel, err := s.Topo.Relationships()
+		if err != nil {
+			return err
 		}
-		delete(e.Policy.DenyLink, cand.id)
-		e.MarkDirty()
-		res.Rows = append(res.Rows, row)
-	}
-	_ = rib
-
-	// Count rank inversions between the exposure ordering and an impact
-	// ordering (unreachable count, then RTT shift).
-	impactLess := func(a, b ExposureRow) bool {
-		if a.Unreachable != b.Unreachable {
-			return a.Unreachable < b.Unreachable
+		candidates = []candidate{
+			{"TransitA–Backbone (JNB)", rel.Links[scenario.ZATransitA][scenario.EuroBackbone][0]},
+			{"TransitB–Backbone (JNB)", rel.Links[scenario.ZATransitB][scenario.EuroBackbone][0]},
+			{"TransitA–TransitB peering", rel.Links[scenario.ZATransitA][scenario.ZATransitB][0]},
+			{"BigContent–TransitA (JNB)", rel.Links[scenario.BigContent][scenario.ZATransitA][0]},
+			{"BigContent–TransitA (DUR)", rel.Links[scenario.BigContent][scenario.ZATransitA][1]},
+			// Single-homed access tails: tiny exposure, total impact.
+			{"Donor16637 access", rel.Links[16637][scenario.ZATransitA][0]},
+			{"Donor327700 access", rel.Links[327700][scenario.ZATransitB][0]},
 		}
-		return a.MeanRTTShift < b.MeanRTTShift
-	}
-	for i := 0; i < len(res.Rows); i++ {
-		for j := i + 1; j < len(res.Rows); j++ {
-			a, b := res.Rows[i], res.Rows[j]
-			expLess := a.Exposure < b.Exposure
-			if a.Exposure != b.Exposure && expLess != impactLess(a, b) {
-				res.RankFlips++
+		res.Pairs = len(pairs)
+		return nil
+	}, func(ctx context.Context) error {
+		for _, cand := range candidates {
+			// Each candidate failure forces a full reconvergence; check
+			// between them so cancellation lands within one sweep entry.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			row := ExposureRow{Link: cand.name}
+			for _, p := range pairs {
+				if paths[p.src].CrossesLink(cand.id) {
+					row.Exposure++
+				}
+			}
+			// Fail the link, recompute, and measure actual impact.
+			e.Policy.DenyLink[cand.id] = true
+			e.MarkDirty()
+			var shiftSum float64
+			var shiftN int
+			for _, p := range pairs {
+				perf, err := e.PerfToAS(p.src, scenario.BigContent)
+				if err != nil {
+					row.Unreachable++
+					continue
+				}
+				shiftSum += perf.RTTms - baseRTT[p.src]
+				shiftN++
+			}
+			if shiftN > 0 {
+				row.MeanRTTShift = shiftSum / float64(shiftN)
+			}
+			delete(e.Policy.DenyLink, cand.id)
+			e.MarkDirty()
+			res.Rows = append(res.Rows, row)
+		}
+		return nil
+	}, func(ctx context.Context) error {
+		// Count rank inversions between the exposure ordering and an impact
+		// ordering (unreachable count, then RTT shift).
+		impactLess := func(a, b ExposureRow) bool {
+			if a.Unreachable != b.Unreachable {
+				return a.Unreachable < b.Unreachable
+			}
+			return a.MeanRTTShift < b.MeanRTTShift
+		}
+		for i := 0; i < len(res.Rows); i++ {
+			for j := i + 1; j < len(res.Rows); j++ {
+				a, b := res.Rows[i], res.Rows[j]
+				expLess := a.Exposure < b.Exposure
+				if a.Exposure != b.Exposure && expLess != impactLess(a, b) {
+					res.RankFlips++
+				}
 			}
 		}
+		sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].Exposure > res.Rows[j].Exposure })
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].Exposure > res.Rows[j].Exposure })
 	return res, nil
 }
 

@@ -52,6 +52,44 @@ func RunFamilyKnob(ctx context.Context, pool parallel.Pool, seed uint64, hours i
 	if hours <= 0 {
 		hours = 1500
 	}
+	res := &FamilyKnobResult{}
+	var sim *familyKnobSim
+	var f *data.Frame
+	err := stagedRun(ctx, "familyknob", func(ctx context.Context) error {
+		var err error
+		sim, err = familyKnobScenario(ctx, pool, seed, hours)
+		return err
+	}, func(ctx context.Context) error {
+		var err error
+		f, err = data.FromColumns(map[string][]float64{"Z": sim.zCol, "R": sim.rCol, "L": sim.lCol})
+		return err
+	}, func(ctx context.Context) error {
+		var err error
+		res.Tests = len(sim.zCol)
+		res.TrueEffect = sim.trueSum / float64(sim.trueN)
+		if res.NaiveOLS, err = estimate.Regression(f, "R", "L", nil); err != nil {
+			return err
+		}
+		res.FamilyIV, err = estimate.TwoSLS(f, "R", "L", []string{"Z"}, nil)
+		return err
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// familyKnobSim holds the per-test columns (family bit, observed route, RTT)
+// and the calm-hour ground truth.
+type familyKnobSim struct {
+	zCol, rCol, lCol []float64
+	trueSum          float64
+	trueN            int
+}
+
+// familyKnobScenario pins the v6 plane to the alternate transit and runs the
+// per-hour randomized family toggles.
+func familyKnobScenario(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*familyKnobSim, error) {
 	s, err := scenario.BuildSouthAfrica()
 	if err != nil {
 		return nil, err
@@ -81,9 +119,7 @@ func RunFamilyKnob(ctx context.Context, pool parallel.Pool, seed uint64, hours i
 		return nil, err
 	}
 
-	var zCol, rCol, lCol []float64
-	var trueSum float64
-	var trueN int
+	sim := &familyKnobSim{}
 	inCrowd := func(h float64) bool {
 		u := e.Utilization(primary)
 		_ = h
@@ -111,31 +147,20 @@ func RunFamilyKnob(ctx context.Context, pool parallel.Pool, seed uint64, hours i
 				onAlt = 1
 			}
 		}
-		zCol = append(zCol, z)
-		rCol = append(rCol, onAlt)
-		lCol = append(lCol, m.RTTms)
+		sim.zCol = append(sim.zCol, z)
+		sim.rCol = append(sim.rCol, onAlt)
+		sim.lCol = append(sim.lCol, m.RTTms)
 
 		if !inCrowd(e.Hour()) {
 			va, vp, err := forcedContrast(e, src)
 			if err != nil {
 				return nil, err
 			}
-			trueSum += va - vp
-			trueN++
+			sim.trueSum += va - vp
+			sim.trueN++
 		}
 	}
-	f, err := data.FromColumns(map[string][]float64{"Z": zCol, "R": rCol, "L": lCol})
-	if err != nil {
-		return nil, err
-	}
-	res := &FamilyKnobResult{Tests: len(zCol), TrueEffect: trueSum / float64(trueN)}
-	if res.NaiveOLS, err = estimate.Regression(f, "R", "L", nil); err != nil {
-		return nil, err
-	}
-	if res.FamilyIV, err = estimate.TwoSLS(f, "R", "L", []string{"Z"}, nil); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return sim, nil
 }
 
 func init() {

@@ -50,6 +50,59 @@ func RunInstrument(ctx context.Context, pool parallel.Pool, seed uint64, hours i
 	if hours <= 0 {
 		hours = 2000
 	}
+	res := &IVResult{Hours: hours}
+	var sim *ivSim
+	var f *data.Frame
+	err := stagedRun(ctx, "instrument", func(ctx context.Context) error {
+		var err error
+		sim, err = instrumentScenario(ctx, pool, seed, hours)
+		return err
+	}, func(ctx context.Context) error {
+		var err error
+		f, err = data.FromColumns(map[string][]float64{
+			"R": sim.rCol, "L": sim.lCol, "Zmaint": sim.zMaint, "Zload": sim.zLoad,
+		})
+		return err
+	}, func(ctx context.Context) error {
+		var err error
+		res.TrueEffect = sim.trueSum / float64(sim.trueN)
+		if res.NaiveOLS, err = estimate.Regression(f, "R", "L", nil); err != nil {
+			return err
+		}
+		if res.ValidIV, err = estimate.TwoSLS(f, "R", "L", []string{"Zmaint"}, nil); err != nil {
+			return err
+		}
+		res.InvalidIV, err = estimate.TwoSLS(f, "R", "L", []string{"Zload"}, nil)
+		return err
+	}, func(ctx context.Context) error {
+		// DAG-side analysis: in the valid world the maintenance node is an
+		// instrument; in the invalid world the load-coupled candidate has an
+		// unblocked non-treatment path to L.
+		gValid := dag.MustParse("U [latent]; U -> R; U -> L; Zmaint -> R; R -> L")
+		res.DAGValid = gValid.Instruments("R", "L")
+		gInvalid := dag.MustParse("U [latent]; U -> R; U -> L; U -> Zload; Zload -> R; R -> L")
+		for _, p := range gInvalid.ExclusionViolations("Zload", "R", "L") {
+			res.DAGViolated = append(res.DAGViolated, p.String())
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ivSim holds the observational columns and the complier ground truth the
+// instrument scenario stage produces.
+type ivSim struct {
+	rCol, lCol, zMaint, zLoad []float64
+	trueSum                   float64
+	trueN                     int
+}
+
+// instrumentScenario builds the dual-homed world with unobserved congestion
+// and exogenous maintenance windows, then simulates it hour by hour.
+func instrumentScenario(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*ivSim, error) {
 	s, err := scenario.BuildSouthAfrica()
 	if err != nil {
 		return nil, err
@@ -99,9 +152,7 @@ func RunInstrument(ctx context.Context, pool parallel.Pool, seed uint64, hours i
 		return 0
 	}
 
-	var rCol, lCol, zMaint, zLoad []float64
-	var trueSum float64
-	var trueN int
+	sim := &ivSim{}
 	for e.Hour() < float64(hours) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -121,14 +172,14 @@ func RunInstrument(ctx context.Context, pool parallel.Pool, seed uint64, hours i
 		}
 		maintNow := inWindow(maintWindows, e.Hour())
 		crowdNow := inWindow(crowdHours, e.Hour())
-		rCol = append(rCol, onAlt)
-		lCol = append(lCol, perf.RTTms)
-		zMaint = append(zMaint, maintNow)
+		sim.rCol = append(sim.rCol, onAlt)
+		sim.lCol = append(sim.lCol, perf.RTTms)
+		sim.zMaint = append(sim.zMaint, maintNow)
 		// The invalid instrument: an indicator correlated with the
 		// unobserved congestion (a "policy flip" announced exactly during
 		// demand surges). It predicts reroutes — but also directly
 		// coincides with congestion-inflated RTT.
-		zLoad = append(zLoad, crowdNow)
+		sim.zLoad = append(sim.zLoad, crowdNow)
 
 		// Ground truth for the estimand the maintenance instrument
 		// identifies: the reroute effect under ordinary conditions (the
@@ -141,38 +192,11 @@ func RunInstrument(ctx context.Context, pool parallel.Pool, seed uint64, hours i
 			if err != nil {
 				return nil, err
 			}
-			trueSum += va - vp
-			trueN++
+			sim.trueSum += va - vp
+			sim.trueN++
 		}
 	}
-
-	f, err := data.FromColumns(map[string][]float64{
-		"R": rCol, "L": lCol, "Zmaint": zMaint, "Zload": zLoad,
-	})
-	if err != nil {
-		return nil, err
-	}
-	res := &IVResult{Hours: hours, TrueEffect: trueSum / float64(trueN)}
-	if res.NaiveOLS, err = estimate.Regression(f, "R", "L", nil); err != nil {
-		return nil, err
-	}
-	if res.ValidIV, err = estimate.TwoSLS(f, "R", "L", []string{"Zmaint"}, nil); err != nil {
-		return nil, err
-	}
-	if res.InvalidIV, err = estimate.TwoSLS(f, "R", "L", []string{"Zload"}, nil); err != nil {
-		return nil, err
-	}
-
-	// DAG-side analysis: in the valid world the maintenance node is an
-	// instrument; in the invalid world the load-coupled candidate has an
-	// unblocked non-treatment path to L.
-	gValid := dag.MustParse("U [latent]; U -> R; U -> L; Zmaint -> R; R -> L")
-	res.DAGValid = gValid.Instruments("R", "L")
-	gInvalid := dag.MustParse("U [latent]; U -> R; U -> L; U -> Zload; Zload -> R; R -> L")
-	for _, p := range gInvalid.ExclusionViolations("Zload", "R", "L") {
-		res.DAGViolated = append(res.DAGViolated, p.String())
-	}
-	return res, nil
+	return sim, nil
 }
 
 func init() {

@@ -56,6 +56,50 @@ func RunIntent(ctx context.Context, pool parallel.Pool, seed uint64, hours int) 
 	if hours <= 0 {
 		hours = 1500
 	}
+	res := &IntentResult{Hours: hours}
+	store := platform.NewStore()
+	var truthSum float64
+	var truthN int
+	var base, user []*probe.Measurement
+	err := stagedRun(ctx, "intent", func(ctx context.Context) error {
+		return intentScenario(ctx, pool, seed, hours, store, &truthSum, &truthN)
+	}, func(ctx context.Context) error {
+		base = store.ByIntent(probe.IntentBaseline)
+		user = store.ByIntent(probe.IntentUserInitiated)
+		return nil
+	}, func(ctx context.Context) error {
+		// Compare on TrueRTTms so the contrast isolates pure selection bias:
+		// measured values differ from true ones only by i.i.d. jitter, which
+		// is identical in distribution across intents.
+		mean := func(ms []*probe.Measurement) float64 {
+			if len(ms) == 0 {
+				return 0
+			}
+			var s float64
+			for _, m := range ms {
+				s += m.TrueRTTms
+			}
+			return s / float64(len(ms))
+		}
+		res.TrueMeanRTT = truthSum / float64(truthN)
+		res.BaselineMean = mean(base)
+		res.UserMean = mean(user)
+		res.PooledMean = mean(append(append([]*probe.Measurement(nil), base...), user...))
+		res.TriggeredCount = len(store.ByIntent(probe.IntentTriggered))
+		res.BaselineCount = len(base)
+		res.UserCount = len(user)
+		return nil
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// intentScenario builds the dual-transit eyeball world and runs the mixed
+// campaign — user tests, scheduled baselines, BGP-triggered traceroutes —
+// landing everything in the store while tracking the population truth.
+func intentScenario(ctx context.Context, pool parallel.Pool, seed uint64, hours int, store *platform.Store, truthSum *float64, truthN *int) error {
 	b := topo.NewBuilder(nil).
 		AddAS(100, "T-A", topo.Transit, "Johannesburg").
 		AddAS(101, "T-B", topo.Transit, "Johannesburg").
@@ -67,17 +111,17 @@ func RunIntent(ctx context.Context, pool parallel.Pool, seed uint64, hours int) 
 		Connect(4001, "Johannesburg", topo.CustomerOf, 101, "Johannesburg", topo.WithBaseUtil(0.4))
 	tp, err := b.Build()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	e := engine.New(tp, seed, engine.Config{AdaptiveEgress: true, Pool: pool}).Bind(ctx)
 	pr := probe.NewProber(e, seed+1)
 	src, err := tp.FindPoP(7000, "Johannesburg")
 	if err != nil {
-		return nil, err
+		return err
 	}
 	rel, err := tp.Relationships()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	crowdRNG := mathx.NewRNG(seed + 2)
 	for h := 20.0; h < float64(hours); h += 40 + 60*crowdRNG.Float64() {
@@ -94,80 +138,51 @@ func RunIntent(ctx context.Context, pool parallel.Pool, seed uint64, hours int) 
 
 	rib, err := e.RIB()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	dst, err := rib.NearestPoP(src, 4001)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	watch := platform.NewBGPWatch(src, dst)
 
-	store := platform.NewStore()
-	var truthSum float64
-	var truthN int
 	for e.Hour() < float64(hours) {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
 		if err := e.Step(); err != nil {
-			return nil, err
+			return err
 		}
 		perf, err := e.PerfToAS(src, 4001)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		truthSum += perf.RTTms
-		truthN++
+		*truthSum += perf.RTTms
+		*truthN++
 
 		_, ms, err := um.Step(pr)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := store.Add(ms...); err != nil {
-			return nil, err
+			return err
 		}
 		if m, err := baseline.Step(pr); err != nil {
-			return nil, err
+			return err
 		} else if m != nil {
 			if err := store.Add(m); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		if m, err := watch.Step(pr); err != nil {
-			return nil, err
+			return err
 		} else if m != nil {
 			if err := store.Add(m); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
-
-	// Compare on TrueRTTms so the contrast isolates pure selection bias:
-	// measured values differ from true ones only by i.i.d. jitter, which is
-	// identical in distribution across intents.
-	mean := func(ms []*probe.Measurement) float64 {
-		if len(ms) == 0 {
-			return 0
-		}
-		var s float64
-		for _, m := range ms {
-			s += m.TrueRTTms
-		}
-		return s / float64(len(ms))
-	}
-	base := store.ByIntent(probe.IntentBaseline)
-	user := store.ByIntent(probe.IntentUserInitiated)
-	res := &IntentResult{
-		Hours:          hours,
-		TrueMeanRTT:    truthSum / float64(truthN),
-		BaselineMean:   mean(base),
-		UserMean:       mean(user),
-		PooledMean:     mean(append(append([]*probe.Measurement(nil), base...), user...)),
-		TriggeredCount: len(store.ByIntent(probe.IntentTriggered)),
-		BaselineCount:  len(base),
-		UserCount:      len(user),
-	}
-	return res, nil
+	return nil
 }
 
 func init() {

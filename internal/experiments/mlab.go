@@ -54,6 +54,52 @@ func RunMLab(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*
 	if hours <= 0 {
 		hours = 1200
 	}
+	res := &MLabResult{}
+	var sim *mlabSim
+	var fr, fs *data.Frame
+	err := stagedRun(ctx, "mlab", func(ctx context.Context) error {
+		var err error
+		sim, err = mlabScenario(ctx, pool, seed, hours)
+		return err
+	}, func(ctx context.Context) error {
+		var err error
+		if fr, err = data.FromColumns(map[string][]float64{"site": sim.randSite, "rtt": sim.randRTT}); err != nil {
+			return err
+		}
+		fs, err = data.FromColumns(map[string][]float64{"site": sim.selfSite, "rtt": sim.selfRTT})
+		return err
+	}, func(ctx context.Context) error {
+		var err error
+		res.Tests = len(sim.randSite) + len(sim.selfSite)
+		res.TrueEffect = sim.trueSum / float64(sim.trueN)
+		if res.Randomized, err = estimate.NaiveAssociation(fr, "site", "rtt"); err != nil {
+			return err
+		}
+		res.Randomized.Method = "randomized difference in means"
+		if res.SelfSelected, err = estimate.NaiveAssociation(fs, "site", "rtt"); err != nil {
+			return err
+		}
+		res.SelfSelected.Method = "self-selected difference in means"
+		return nil
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// mlabSim holds the raw per-hour test outcomes from the two assignment arms
+// plus the direct-measurement ground truth.
+type mlabSim struct {
+	randSite, randRTT []float64
+	selfSite, selfRTT []float64
+	trueSum           float64
+	trueN             int
+}
+
+// mlabScenario builds the Johannesburg metro with a periodically congested
+// site-B transit and simulates both assignment arms hour by hour.
+func mlabScenario(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*mlabSim, error) {
 	s, err := scenario.BuildSouthAfrica()
 	if err != nil {
 		return nil, err
@@ -92,10 +138,7 @@ func RunMLab(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*
 	}
 
 	selRNG := mathx.NewRNG(seed + 4)
-	var randSite, randRTT []float64
-	var selfSite, selfRTT []float64
-	var trueSum float64
-	var trueN int
+	sim := &mlabSim{}
 	for e.Hour() < float64(hours) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -108,8 +151,8 @@ func RunMLab(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*
 		if err != nil {
 			return nil, err
 		}
-		randSite = append(randSite, float64(idx))
-		randRTT = append(randRTT, m.RTTms)
+		sim.randSite = append(sim.randSite, float64(idx))
+		sim.randRTT = append(sim.randRTT, m.RTTms)
 
 		// Ground truth: measure both sites directly this hour.
 		pa, err := e.Perf(user, servers[0])
@@ -120,8 +163,8 @@ func RunMLab(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*
 		if err != nil {
 			return nil, err
 		}
-		trueSum += pb.RTTms - pa.RTTms
-		trueN++
+		sim.trueSum += pb.RTTms - pa.RTTms
+		sim.trueN++
 
 		// Self-selected arm: when site B's path is congested, users mostly
 		// pick site A ("the one that works"), else uniform. This couples
@@ -140,28 +183,10 @@ func RunMLab(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*
 		if err != nil {
 			return nil, err
 		}
-		selfSite = append(selfSite, float64(pick))
-		selfRTT = append(selfRTT, sm.RTTms)
+		sim.selfSite = append(sim.selfSite, float64(pick))
+		sim.selfRTT = append(sim.selfRTT, sm.RTTms)
 	}
-
-	fr, err := data.FromColumns(map[string][]float64{"site": randSite, "rtt": randRTT})
-	if err != nil {
-		return nil, err
-	}
-	fs, err := data.FromColumns(map[string][]float64{"site": selfSite, "rtt": selfRTT})
-	if err != nil {
-		return nil, err
-	}
-	res := &MLabResult{Tests: len(randSite) + len(selfSite), TrueEffect: trueSum / float64(trueN)}
-	if res.Randomized, err = estimate.NaiveAssociation(fr, "site", "rtt"); err != nil {
-		return nil, err
-	}
-	res.Randomized.Method = "randomized difference in means"
-	if res.SelfSelected, err = estimate.NaiveAssociation(fs, "site", "rtt"); err != nil {
-		return nil, err
-	}
-	res.SelfSelected.Method = "self-selected difference in means"
-	return res, nil
+	return sim, nil
 }
 
 func init() {

@@ -63,19 +63,27 @@ func RunPower(ctx context.Context, pool parallel.Pool, seed uint64, trials int) 
 	}
 	const alpha = 0.06 // just above the design's min p of 1/19
 	res := &PowerResult{Design: d, Alpha: alpha}
-	for _, eff := range []float64{0, 0.5, 1, 1.5, 2, 3, 5} {
-		p, err := d.Power(ctx, pool, eff, alpha, trials, seed)
-		if err != nil {
-			return nil, err
+	err := stagedRun(ctx, "power", nil, nil, func(ctx context.Context) error {
+		// All the work is estimation: Monte-Carlo detection power across the
+		// effect grid, then the bisection for the minimum detectable effect.
+		for _, eff := range []float64{0, 0.5, 1, 1.5, 2, 3, 5} {
+			p, err := d.Power(ctx, pool, eff, alpha, trials, seed)
+			if err != nil {
+				return err
+			}
+			res.Effects = append(res.Effects, eff)
+			res.Power = append(res.Power, p)
 		}
-		res.Effects = append(res.Effects, eff)
-		res.Power = append(res.Power, p)
-	}
-	mde, err := d.MinDetectableEffect(ctx, pool, alpha, 0.8, 8, trials/2, seed+1)
+		mde, err := d.MinDetectableEffect(ctx, pool, alpha, 0.8, 8, trials/2, seed+1)
+		if err != nil {
+			return err
+		}
+		res.MDE80 = mde
+		return nil
+	}, nil)
 	if err != nil {
 		return nil, err
 	}
-	res.MDE80 = mde
 	return res, nil
 }
 

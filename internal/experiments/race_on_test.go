@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// gates skip under its ~5-20x instrumentation overhead.
+const raceEnabled = true

@@ -145,26 +145,30 @@ func RunRootCause(ctx context.Context, pool parallel.Pool, seed uint64) (*RootCa
 		return out, nil
 	}
 
-	factual, err := run(true, true)
+	res := &RootCauseResult{OutageHour: outageHour}
+	var factual, noCong, noCut *worldOut
+	err := stagedRun(ctx, "rootcause", func(ctx context.Context) error {
+		// Factual world plus the two single-candidate-removed replays.
+		var err error
+		if factual, err = run(true, true); err != nil {
+			return err
+		}
+		if noCong, err = run(false, true); err != nil {
+			return err
+		}
+		noCut, err = run(true, false)
+		return err
+	}, nil, func(ctx context.Context) error {
+		res.SymptomUnreachable = int(mathx.Vector(factual.unreachPerHour).Max())
+		res.MedianRTTBefore = NullableFloat(mathx.Median(factual.rttBefore))
+		res.MedianRTTDuring = NullableFloat(mathx.Median(factual.rttDuring))
+		res.CorrCongestion = NullableFloat(mathx.Correlation(factual.unreachPerHour, factual.congPerHour))
+		res.WithoutCongestion = int(mathx.Vector(noCong.unreachPerHour).Max())
+		res.WithoutLinkCut = int(mathx.Vector(noCut.unreachPerHour).Max())
+		return nil
+	}, nil)
 	if err != nil {
 		return nil, err
-	}
-	noCong, err := run(false, true)
-	if err != nil {
-		return nil, err
-	}
-	noCut, err := run(true, false)
-	if err != nil {
-		return nil, err
-	}
-	res := &RootCauseResult{
-		OutageHour:         outageHour,
-		SymptomUnreachable: int(mathx.Vector(factual.unreachPerHour).Max()),
-		MedianRTTBefore:    NullableFloat(mathx.Median(factual.rttBefore)),
-		MedianRTTDuring:    NullableFloat(mathx.Median(factual.rttDuring)),
-		CorrCongestion:     NullableFloat(mathx.Correlation(factual.unreachPerHour, factual.congPerHour)),
-		WithoutCongestion:  int(mathx.Vector(noCong.unreachPerHour).Max()),
-		WithoutLinkCut:     int(mathx.Vector(noCut.unreachPerHour).Max()),
 	}
 	return res, nil
 }

@@ -14,6 +14,7 @@ import (
 	"sisyphus/internal/mathx"
 	"sisyphus/internal/netsim/engine"
 	"sisyphus/internal/netsim/scenario"
+	"sisyphus/internal/obs"
 	"sisyphus/internal/parallel"
 	"sisyphus/internal/pipeline"
 	"sisyphus/internal/platform"
@@ -235,6 +236,21 @@ func RunTable1(ctx context.Context, pool parallel.Pool, cfg Table1Config) (*Tabl
 				return nil, nil, err
 			}
 		}
+		// Run-trace accounting, summed across the factual and (with
+		// WithTruth) counterfactual worlds. No-ops without a recorder.
+		if inj != nil {
+			st := inj.Stats()
+			obs.Add(ctx, "faults.drops", st.Drops)
+			obs.Add(ctx, "faults.outage_failures", st.OutageFailures)
+			obs.Add(ctx, "faults.truncations", st.Truncations)
+			obs.Add(ctx, "faults.duplicates", st.Duplicates)
+			obs.Add(ctx, "faults.reorders", st.Reorders)
+		}
+		cov := store.TotalCoverage()
+		obs.Add(ctx, "store.scheduled", int64(cov.Scheduled))
+		obs.Add(ctx, "store.delivered", int64(cov.Delivered))
+		obs.Add(ctx, "store.failed", int64(cov.Failed))
+		obs.Gauge(ctx, "store.coverage", cov.Fraction())
 		return s, store, nil
 	}
 

@@ -105,7 +105,25 @@ type Injector struct {
 	outages map[topo.PoPID]*outageSchedule
 	pending []*probe.Measurement // records held back by reorder
 	dupID   int                  // ID allocator for duplicate clones
+	stats   Stats
 }
+
+// Stats counts the faults an injector actually fired — the quantities the
+// run-trace observability layer surfaces per experiment. Reading them never
+// advances any fault stream.
+type Stats struct {
+	// Drops counts probe attempts failed by the drop stream; OutageFailures
+	// counts attempts failed because the vantage was inside an outage window.
+	Drops, OutageFailures int64
+	// Truncations counts traceroutes that lost tail hops.
+	Truncations int64
+	// Duplicates and Reorders count ingestion-side deliveries cloned or held
+	// back out of order.
+	Duplicates, Reorders int64
+}
+
+// Stats returns the counts of faults fired so far.
+func (in *Injector) Stats() Stats { return in.stats }
 
 // New builds an injector for the configuration.
 func New(cfg Config) *Injector {
@@ -135,12 +153,17 @@ func (in *Injector) stream(kind, a, b uint64) *mathx.RNG {
 // is inside an outage window or the per-attempt drop stream fires.
 func (in *Injector) AttemptFails(src topo.PoPID, hour float64, seq, attempt int) bool {
 	if in.VantageDown(src, hour) {
+		in.stats.OutageFailures++
 		return true
 	}
 	if in.cfg.DropRate <= 0 {
 		return false
 	}
-	return in.stream(kindDrop, uint64(seq), uint64(attempt)).Bernoulli(in.cfg.DropRate)
+	if in.stream(kindDrop, uint64(seq), uint64(attempt)).Bernoulli(in.cfg.DropRate) {
+		in.stats.Drops++
+		return true
+	}
+	return false
 }
 
 // MutateMeasurement implements probe.FaultHook: truncate the traceroute at
@@ -152,6 +175,7 @@ func (in *Injector) MutateMeasurement(m *probe.Measurement, seq int) {
 			keep := 1 + r.Intn(len(m.Hops)-1) // always keep hop 1, never all
 			m.Hops = m.Hops[:keep]
 			m.Truncated = true
+			in.stats.Truncations++
 		}
 	}
 	if in.cfg.TimestampSkewStdHours > 0 {
@@ -180,6 +204,7 @@ func (in *Injector) Deliver(ms ...*probe.Measurement) []*probe.Measurement {
 		r := in.stream(kindDeliver, uint64(m.ID), 0)
 		if in.cfg.ReorderRate > 0 && r.Bernoulli(in.cfg.ReorderRate) {
 			in.pending = append(in.pending, m)
+			in.stats.Reorders++
 			continue
 		}
 		out = append(out, m)
@@ -189,6 +214,7 @@ func (in *Injector) Deliver(ms ...*probe.Measurement) []*probe.Measurement {
 			dup.ID = in.dupID
 			dup.DuplicateOf = m.ID
 			out = append(out, &dup)
+			in.stats.Duplicates++
 		}
 	}
 	// Held records land after this batch — strictly out of order.

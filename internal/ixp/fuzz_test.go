@@ -1,0 +1,49 @@
+package ixp
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzMatcherPrefix re-pins the octet-boundary fix as a property over
+// arbitrary prefix/address pairs: NewMatcher never panics, and MatchAddr
+// answers true exactly when the address IS the prefix (sans trailing dot) or
+// continues it at a dot boundary. The historical bug — "196.60.8" matching
+// "196.60.80.1" — is a direct counterexample to the boundary property.
+func FuzzMatcherPrefix(f *testing.F) {
+	f.Add("196.60.8", "196.60.8.1")  // true crossing
+	f.Add("196.60.8", "196.60.80.1") // the octet-boundary false positive
+	f.Add("196.60.8.", "196.60.8")   // subnet address itself
+	f.Add("", "10.0.0.1")            // empty prefix must match nothing
+	f.Add(".", ".")                  // degenerate dotted prefix
+	f.Add("196.60.8", "196.60.8")    // prefix minus trailing dot
+	f.Fuzz(func(t *testing.T, prefix, addr string) {
+		m := NewMatcher(prefix)
+		got := m.MatchAddr(addr)
+		if prefix == "" {
+			if got {
+				t.Fatalf("empty prefix matched %q", addr)
+			}
+			return
+		}
+		// Reference semantics: normalize to a trailing dot, then the address
+		// must either equal the subnet or continue it past the dot.
+		canon := prefix
+		if !strings.HasSuffix(canon, ".") {
+			canon += "."
+		}
+		subnet := strings.TrimSuffix(canon, ".")
+		want := addr == subnet || strings.HasPrefix(addr, canon)
+		if got != want {
+			t.Fatalf("MatchAddr(%q) with prefix %q = %v, want %v", addr, prefix, got, want)
+		}
+		// The boundary property itself, stated without reference to the
+		// implementation's normalization: a matching address longer than the
+		// subnet continues at '.' — never mid-octet.
+		if got && addr != subnet {
+			if len(addr) <= len(subnet) || addr[len(subnet)] != '.' {
+				t.Fatalf("prefix %q matched %q without an octet boundary", prefix, addr)
+			}
+		}
+	})
+}

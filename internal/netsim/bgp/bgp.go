@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"sisyphus/internal/netsim/topo"
+	"sisyphus/internal/obs"
 	"sisyphus/internal/parallel"
 )
 
@@ -160,15 +161,21 @@ func Compute(ctx context.Context, pool parallel.Pool, t *topo.Topology, pol *Pol
 	}
 	rib := &RIB{Topo: t, Rel: rel, best: make(map[topo.ASN]map[topo.ASN]*Route), policy: pol, pool: pool}
 	ases := t.ASes()
-	tables, err := parallel.Map(ctx, pool, len(ases), func(i int) (map[topo.ASN]*Route, error) {
+	tables, err := parallel.Map(ctx, pool, len(ases), func(i int) (destTable, error) {
 		return computeDest(t, rel, pol, ases[i].ASN)
 	})
 	if err != nil {
 		return nil, err
 	}
-	for i, best := range tables {
-		rib.best[ases[i].ASN] = best
+	var sweeps int64
+	for i, tbl := range tables {
+		rib.best[ases[i].ASN] = tbl.best
+		sweeps += int64(tbl.sweeps)
 	}
+	// Fixed-point effort accounting (no-op without a recorder on ctx): how
+	// many destinations converged and how many sweeps that took in total.
+	obs.Add(ctx, "bgp.destinations", int64(len(ases)))
+	obs.Add(ctx, "bgp.sweeps", sweeps)
 	return rib, nil
 }
 
@@ -201,7 +208,14 @@ func relationshipsUnderPolicy(t *topo.Topology, pol *Policy) (*topo.ASRelationsh
 	return rel, nil
 }
 
-func computeDest(t *topo.Topology, rel *topo.ASRelationships, pol *Policy, dest topo.ASN) (map[topo.ASN]*Route, error) {
+// destTable is one destination's converged routing table plus the number of
+// sweeps the fixed point took — the effort metric the run trace reports.
+type destTable struct {
+	best   map[topo.ASN]*Route
+	sweeps int
+}
+
+func computeDest(t *topo.Topology, rel *topo.ASRelationships, pol *Policy, dest topo.ASN) (destTable, error) {
 	best := make(map[topo.ASN]*Route)
 	// The origin's announced path carries poisoned ASNs then itself.
 	poison := pol.Poison[dest]
@@ -269,10 +283,10 @@ func computeDest(t *topo.Topology, rel *topo.ASRelationships, pol *Policy, dest 
 			}
 		}
 		if !changed {
-			return best, nil
+			return destTable{best: best, sweeps: sweep + 1}, nil
 		}
 	}
-	return nil, fmt.Errorf("bgp: routing for dest AS%d did not converge in %d sweeps (policy dispute?)", dest, maxSweeps)
+	return destTable{}, fmt.Errorf("bgp: routing for dest AS%d did not converge in %d sweeps (policy dispute?)", dest, maxSweeps)
 }
 
 // canExport implements Gao–Rexford: n exports its route to neighbor a iff

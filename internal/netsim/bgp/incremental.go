@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"sisyphus/internal/netsim/topo"
+	"sisyphus/internal/obs"
 	"sisyphus/internal/parallel"
 )
 
@@ -93,14 +94,18 @@ func (r *RIB) RecomputeAfterLinkFailure(ctx context.Context, failed topo.LinkID)
 	// Affected destinations re-converge independently, exactly as in
 	// Compute; sorted so the dispatch order is deterministic.
 	sort.Slice(recompute, func(i, j int) bool { return recompute[i] < recompute[j] })
-	fresh, err := parallel.Map(ctx, r.pool, len(recompute), func(i int) (map[topo.ASN]*Route, error) {
+	fresh, err := parallel.Map(ctx, r.pool, len(recompute), func(i int) (destTable, error) {
 		return computeDest(r.Topo, rel, pol, recompute[i])
 	})
 	if err != nil {
 		return nil, err
 	}
+	var sweeps int64
 	for i, tbl := range fresh {
-		out.best[recompute[i]] = tbl
+		out.best[recompute[i]] = tbl.best
+		sweeps += int64(tbl.sweeps)
 	}
+	obs.Add(ctx, "bgp.incremental_destinations", int64(len(recompute)))
+	obs.Add(ctx, "bgp.sweeps", sweeps)
 	return out, nil
 }

@@ -32,6 +32,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"sisyphus/internal/obs"
 )
 
 // workerOverride, when positive, pins the width that zero-valued (default)
@@ -107,6 +109,10 @@ func (p Pool) ForEach(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	// Account the fan-out when a recorder rides the context (nil-recorder
+	// no-op otherwise). Reading the batch size never changes scheduling.
+	obs.Add(ctx, "parallel.batches", 1)
+	obs.Add(ctx, "parallel.tasks", int64(n))
 	workers := p.Workers()
 	if workers > n {
 		workers = n

@@ -21,6 +21,8 @@ package pipeline
 import (
 	"context"
 	"errors"
+
+	"sisyphus/internal/obs"
 )
 
 // Canonical stage names. Experiments qualify them as "<id>/<stage>", e.g.
@@ -41,6 +43,10 @@ type Stage[In, Out any] struct {
 	// in its own long loops; the Run wrapper already guarantees the stage
 	// never starts under a cancelled context.
 	Fn func(ctx context.Context, in In) (Out, error)
+	// composite marks stages built by Then. Composites don't record spans of
+	// their own — their leaves already do, and a trace wants the seams, not
+	// every enclosing composition.
+	composite bool
 }
 
 // NewStage builds a stage value.
@@ -72,15 +78,26 @@ func wrapStage(name string, err error) error {
 // boundary), then invokes the body. Errors — including the context's own —
 // come back wrapped with the stage name, so a failure deep inside a run
 // names the seam it crossed.
+//
+// Every Run is a trace point: when the context carries an obs.Recorder the
+// stage records a span (name, wall time, error tag). Without one, StartSpan
+// returns the nil no-op span — observability reads the run, never shapes it.
 func (s Stage[In, Out]) Run(ctx context.Context, in In) (Out, error) {
 	var zero Out
 	if err := ctx.Err(); err != nil {
 		return zero, wrapStage(s.Name, err)
 	}
+	var sp *obs.ActiveSpan
+	if !s.composite {
+		sp = obs.StartSpan(ctx, s.Name)
+	}
 	out, err := s.Fn(ctx, in)
 	if err != nil {
-		return zero, wrapStage(s.Name, err)
+		err = wrapStage(s.Name, err)
+		sp.End(err)
+		return zero, err
 	}
+	sp.End(nil)
 	return out, nil
 }
 
@@ -90,7 +107,8 @@ func (s Stage[In, Out]) Run(ctx context.Context, in In) (Out, error) {
 // the usual cancellation barrier between them; its name is "a+b".
 func Then[A, B, C any](a Stage[A, B], b Stage[B, C]) Stage[A, C] {
 	return Stage[A, C]{
-		Name: a.Name + "+" + b.Name,
+		Name:      a.Name + "+" + b.Name,
+		composite: true,
 		Fn: func(ctx context.Context, in A) (C, error) {
 			var zero C
 			mid, err := a.Run(ctx, in)

@@ -6,6 +6,7 @@ import (
 
 	"sisyphus/internal/faults"
 	"sisyphus/internal/netsim/topo"
+	"sisyphus/internal/obs"
 	"sisyphus/internal/probe"
 )
 
@@ -172,7 +173,17 @@ func (c *Campaign) Flush() error {
 // ctx is checked before every step: cancelling it returns ctx.Err() without
 // running further steps or flushing, so a cancelled campaign never writes a
 // partial tail of reorder-held records into the store.
-func (c *Campaign) RunUntil(ctx context.Context, hour float64) error {
+//
+// When ctx carries an obs.Recorder the run records a "platform/campaign"
+// span (items = steps taken) and snapshots store coverage and fault-injector
+// stats afterwards; without one every obs call is the nil no-op.
+func (c *Campaign) RunUntil(ctx context.Context, hour float64) (err error) {
+	sp := obs.StartSpan(ctx, "platform/campaign")
+	steps := 0
+	defer func() {
+		sp.SetItems(steps)
+		sp.End(err)
+	}()
 	for c.Prober.Engine.Hour() < hour {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -180,8 +191,38 @@ func (c *Campaign) RunUntil(ctx context.Context, hour float64) error {
 		if err := c.Step(); err != nil {
 			return err
 		}
+		steps++
 	}
-	return c.Flush()
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	c.recordObs(ctx)
+	return nil
+}
+
+// recordObs snapshots the campaign's stream coverage and fault-injector
+// counters into the context's recorder. Gauges (last write wins) because a
+// campaign may be driven through RunUntil repeatedly and the store counters
+// are already cumulative.
+func (c *Campaign) recordObs(ctx context.Context) {
+	if obs.From(ctx) == nil {
+		return
+	}
+	cov := c.Store.TotalCoverage()
+	obs.Gauge(ctx, "store.scheduled", float64(cov.Scheduled))
+	obs.Gauge(ctx, "store.delivered", float64(cov.Delivered))
+	obs.Gauge(ctx, "store.failed", float64(cov.Failed))
+	obs.Gauge(ctx, "store.truncated", float64(cov.Truncated))
+	obs.Gauge(ctx, "store.duplicated", float64(cov.Duplicated))
+	obs.Gauge(ctx, "store.coverage", cov.Fraction())
+	if c.Faults != nil {
+		st := c.Faults.Stats()
+		obs.Gauge(ctx, "faults.drops", float64(st.Drops))
+		obs.Gauge(ctx, "faults.outage_failures", float64(st.OutageFailures))
+		obs.Gauge(ctx, "faults.truncations", float64(st.Truncations))
+		obs.Gauge(ctx, "faults.duplicates", float64(st.Duplicates))
+		obs.Gauge(ctx, "faults.reorders", float64(st.Reorders))
+	}
 }
 
 // Coverage reports per-intent stream health: scheduled vs delivered vs

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"sisyphus/internal/probe"
 )
@@ -23,7 +24,10 @@ func WriteJSONL(w io.Writer, ms []*probe.Measurement) error {
 	return bw.Flush()
 }
 
-// ReadJSONL parses measurements written by WriteJSONL.
+// ReadJSONL parses measurements written by WriteJSONL. Every record is
+// validated on the way in: a non-finite numeric field (NaN or ±Inf — e.g.
+// an overflowing exponent a lenient upstream producer let through) is an
+// error, never a silent poison value in downstream panels.
 func ReadJSONL(r io.Reader) ([]*probe.Measurement, error) {
 	var out []*probe.Measurement
 	dec := json.NewDecoder(r)
@@ -34,9 +38,40 @@ func ReadJSONL(r io.Reader) ([]*probe.Measurement, error) {
 		} else if err != nil {
 			return nil, fmt.Errorf("platform: decoding measurement %d: %w", len(out), err)
 		}
+		if err := validateMeasurement(&m); err != nil {
+			return nil, fmt.Errorf("platform: measurement %d: %w", len(out), err)
+		}
 		out = append(out, &m)
 	}
 	return out, nil
+}
+
+// validateMeasurement rejects records whose numeric fields are not finite.
+// JSON itself has no NaN/Inf literal, but a decoder swap or a hand-edited
+// file can still smuggle them in; estimator math silently propagates them.
+func validateMeasurement(m *probe.Measurement) error {
+	fields := [...]struct {
+		name string
+		v    float64
+	}{
+		{"Hour", m.Hour},
+		{"RTTms", m.RTTms},
+		{"ThroughputMbps", m.ThroughputMbps},
+		{"LossRate", m.LossRate},
+		{"TrueRTTms", m.TrueRTTms},
+		{"TrueMaxUtil", m.TrueMaxUtil},
+	}
+	for _, f := range fields {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("field %s is not finite (%v)", f.name, f.v)
+		}
+	}
+	for i, h := range m.Hops {
+		if math.IsNaN(h.RTTms) || math.IsInf(h.RTTms, 0) {
+			return fmt.Errorf("hop %d RTTms is not finite (%v)", i, h.RTTms)
+		}
+	}
+	return nil
 }
 
 // SaveJSONL writes the whole store.
