@@ -4,12 +4,13 @@
 # under the race detector. The concurrency layer (internal/parallel and its
 # call sites) is only considered healthy when -race passes clean; plain
 # `go test ./...` cannot see scheduling bugs. The generous -timeout exists
-# because the race detector runs the full E1 pipeline and the power curves
-# on whatever cores CI offers — on a single-core box the suite is CPU-bound.
+# because the race detector runs the full E1 pipeline, the power curves, and
+# the cached-suite golden replays on whatever cores CI offers — on a
+# single-core box the experiments package alone is CPU-bound for >30m.
 
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-stages
+.PHONY: build test vet race verify verify-cache-off bench bench-stages
 
 build:
 	$(GO) build ./...
@@ -21,9 +22,16 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -timeout 30m ./...
+	$(GO) test -race -timeout 60m ./...
 
 verify: build vet race
+
+# The cache-off golden check: `-cache=off` must print byte-for-byte the
+# pinned seed-42 suite. The cached path is held to the same golden by the
+# in-repo equivalence tests (TestSuiteCached*); this target pins the off
+# switch end-to-end through the real CLI.
+verify-cache-off:
+	$(GO) run ./cmd/sisyphus -all -seed 42 -cache=off | cmp - internal/experiments/testdata/all_seed42.golden.txt
 
 # The benchmarks backing DESIGN.md's ablation tables and CHANGES.md's
 # before/after numbers. Text output streams as usual; a machine-readable

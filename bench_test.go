@@ -10,6 +10,7 @@ import (
 	"context"
 	"testing"
 
+	"sisyphus/internal/artifact"
 	"sisyphus/internal/causal/synthetic"
 	"sisyphus/internal/experiments"
 	"sisyphus/internal/mathx"
@@ -102,6 +103,37 @@ func BenchmarkIntentTagging(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkAllSuite runs the full experiment suite with and without the
+// artifact cache, so BENCH_sisyphus.json records the cached-vs-uncached
+// delta (the shared worlds, RIBs, and campaigns are the entire difference —
+// output bytes are identical, which the golden equivalence tests pin).
+func BenchmarkAllSuite(b *testing.B) {
+	run := func(b *testing.B, store *artifact.Store) {
+		b.Helper()
+		outs, err := experiments.RunAll(context.Background(), experiments.Config{
+			Seed: 42, Pool: parallel.Pool{}, Artifacts: store,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, oc := range outs {
+			if oc.Err != nil {
+				b.Fatalf("%s: %v", oc.Exp.ID, oc.Err)
+			}
+		}
+	}
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, nil)
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, artifact.NewStore())
+		}
+	})
 }
 
 // --- Ablations (DESIGN.md "design choices called out for ablation") ---

@@ -8,11 +8,18 @@
 //
 //	go test -bench=. -benchmem . | benchjson -out BENCH_sisyphus.json
 //	benchjson -merge trace.jsonl -out BENCH_sisyphus.json
+//	benchjson -compare [-threshold 0.10] old.json new.json
 //
 // The second form folds a `sisyphus -trace` span log into an existing
 // report: spans aggregate per (scope, span) into stage-level wall-time
 // rows under a "stages" key, so CI tracks pipeline stage timings next to
 // the micro-benchmarks. Stdin is not read in merge mode.
+//
+// The third form diffs two reports: it prints a per-benchmark ns/op delta
+// table and exits non-zero if any benchmark present in both reports slowed
+// down by more than the -threshold fraction. Benchmarks only in one report
+// are listed as added/removed but never fail the comparison — renames and
+// new coverage are not regressions.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -211,10 +219,96 @@ func merge(out, tracePath string) error {
 	return os.WriteFile(out, append(b, '\n'), 0o644)
 }
 
+// readReport loads and decodes one JSON benchmark report.
+func readReport(path string) (Report, error) {
+	var rep Report
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// compare prints a per-benchmark delta table between two reports and reports
+// whether any benchmark present in both regressed (slowed down) by more than
+// threshold, expressed as a fraction of the old ns/op. Added and removed
+// benchmarks are listed for the reader but never count as regressions.
+func compare(w io.Writer, oldRep, newRep Report, threshold float64) (regressed []string) {
+	oldBy := make(map[string]Result, len(oldRep.Results))
+	for _, r := range oldRep.Results {
+		oldBy[r.Name] = r
+	}
+	newBy := make(map[string]Result, len(newRep.Results))
+	for _, r := range newRep.Results {
+		newBy[r.Name] = r
+	}
+	var names []string
+	for name := range oldBy {
+		if _, ok := newBy[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "%-50s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		o, n := oldBy[name], newBy[name]
+		delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSION"
+			regressed = append(regressed, name)
+		}
+		fmt.Fprintf(w, "%-50s %14.1f %14.1f %+7.1f%%%s\n", name, o.NsPerOp, n.NsPerOp, 100*delta, mark)
+	}
+	for _, r := range newRep.Results {
+		if _, ok := oldBy[r.Name]; !ok {
+			fmt.Fprintf(w, "%-50s %14s %14.1f   added\n", r.Name, "-", r.NsPerOp)
+		}
+	}
+	for _, r := range oldRep.Results {
+		if _, ok := newBy[r.Name]; !ok {
+			fmt.Fprintf(w, "%-50s %14.1f %14s   removed\n", r.Name, r.NsPerOp, "-")
+		}
+	}
+	return regressed
+}
+
 func main() {
 	out := flag.String("out", "BENCH_sisyphus.json", "path for the JSON report")
 	mergeTrace := flag.String("merge", "", "fold a sisyphus -trace JSONL span log into the report instead of reading stdin")
+	compareMode := flag.Bool("compare", false, "compare two reports (old.json new.json) and exit non-zero on regressions")
+	threshold := flag.Float64("threshold", 0.10, "with -compare, the ns/op slowdown fraction that counts as a regression")
 	flag.Parse()
+	if *compareMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		if *threshold < 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: -threshold must be >= 0 (got %v)\n", *threshold)
+			os.Exit(2)
+		}
+		oldRep, err := readReport(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		newRep, err := readReport(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if regressed := compare(os.Stdout, oldRep, newRep, *threshold); len(regressed) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %.0f%%: %s\n",
+				len(regressed), 100**threshold, strings.Join(regressed, ", "))
+			os.Exit(1)
+		}
+		return
+	}
 	if *mergeTrace != "" {
 		if err := merge(*out, *mergeTrace); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)

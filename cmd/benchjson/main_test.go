@@ -139,3 +139,57 @@ func TestParseLineFields(t *testing.T) {
 		}
 	}
 }
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	oldRep := Report{Results: []Result{
+		{Name: "BenchmarkFast-8", NsPerOp: 100},
+		{Name: "BenchmarkSlow-8", NsPerOp: 1000},
+		{Name: "BenchmarkGone-8", NsPerOp: 50},
+	}}
+	newRep := Report{Results: []Result{
+		{Name: "BenchmarkFast-8", NsPerOp: 105},  // +5%: within threshold
+		{Name: "BenchmarkSlow-8", NsPerOp: 1300}, // +30%: regression
+		{Name: "BenchmarkNew-8", NsPerOp: 20},    // added: not a regression
+	}}
+	var sb strings.Builder
+	regressed := compare(&sb, oldRep, newRep, 0.10)
+	if len(regressed) != 1 || regressed[0] != "BenchmarkSlow-8" {
+		t.Fatalf("regressed = %v, want [BenchmarkSlow-8]", regressed)
+	}
+	out := sb.String()
+	for _, want := range []string{"REGRESSION", "added", "removed", "BenchmarkGone-8", "BenchmarkNew-8", "+30.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The in-threshold row must not be marked.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "BenchmarkFast-8") && strings.Contains(line, "REGRESSION") {
+			t.Fatalf("within-threshold benchmark flagged: %s", line)
+		}
+	}
+}
+
+func TestCompareImprovementsAndEqualPass(t *testing.T) {
+	oldRep := Report{Results: []Result{
+		{Name: "BenchmarkA-8", NsPerOp: 100},
+		{Name: "BenchmarkB-8", NsPerOp: 200},
+	}}
+	newRep := Report{Results: []Result{
+		{Name: "BenchmarkA-8", NsPerOp: 100}, // unchanged
+		{Name: "BenchmarkB-8", NsPerOp: 50},  // faster
+	}}
+	var sb strings.Builder
+	if regressed := compare(&sb, oldRep, newRep, 0.10); len(regressed) != 0 {
+		t.Fatalf("regressed = %v, want none", regressed)
+	}
+}
+
+func TestCompareZeroThreshold(t *testing.T) {
+	oldRep := Report{Results: []Result{{Name: "BenchmarkA-8", NsPerOp: 100}}}
+	newRep := Report{Results: []Result{{Name: "BenchmarkA-8", NsPerOp: 100.5}}}
+	var sb strings.Builder
+	if regressed := compare(&sb, oldRep, newRep, 0); len(regressed) != 1 {
+		t.Fatalf("any slowdown must regress at threshold 0, got %v", regressed)
+	}
+}

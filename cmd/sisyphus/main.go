@@ -34,6 +34,7 @@ import (
 	"os/signal"
 	"strings"
 
+	"sisyphus/internal/artifact"
 	"sisyphus/internal/experiments"
 	"sisyphus/internal/obs"
 	"sisyphus/internal/parallel"
@@ -49,6 +50,16 @@ func validateFlags(workersSet bool, workers int, parallelMode bool) error {
 	}
 	if workersSet && !parallelMode {
 		return fmt.Errorf("-workers only applies with -parallel; add -parallel or drop -workers")
+	}
+	return nil
+}
+
+// validateCacheFlag rejects anything but the two documented -cache states;
+// a typo like -cache=of silently running uncached would defeat the flag's
+// purpose as an explicit identity-proof switch.
+func validateCacheFlag(cache string) error {
+	if cache != "on" && cache != "off" {
+		return fmt.Errorf("-cache must be \"on\" or \"off\" (got %q)", cache)
 	}
 	return nil
 }
@@ -139,6 +150,7 @@ func main() {
 		traceFile = flag.String("trace", "", "write a JSONL span trace of the run to this file")
 		metrics   = flag.Bool("metrics", false, "print a metrics summary after the run (a \"metrics\" JSON object with -json)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run")
+		cache     = flag.String("cache", "on", "artifact cache: \"on\" shares scenario worlds, RIBs and campaigns across experiments; \"off\" rebuilds everything (output bytes are identical either way)")
 	)
 	flag.Parse()
 	workersSet := false
@@ -153,6 +165,10 @@ func main() {
 	}
 	if *timeout < 0 {
 		fmt.Fprintf(os.Stderr, "sisyphus: -timeout must be >= 0 (got %v)\n", *timeout)
+		os.Exit(2)
+	}
+	if err := validateCacheFlag(*cache); err != nil {
+		fmt.Fprintln(os.Stderr, "sisyphus:", err)
 		os.Exit(2)
 	}
 	runs := *all || *exp != ""
@@ -193,7 +209,15 @@ func main() {
 		defer closer.Close()
 	}
 
-	cfg := experiments.Config{Seed: *seed, Pool: pool}
+	// The artifact store is likewise a per-invocation value. With -cache=off
+	// it stays nil and every fetch inside the experiments builds fresh — the
+	// exact pre-cache code path, so output bytes cannot differ.
+	var store *artifact.Store
+	if *cache == "on" {
+		store = artifact.NewStore()
+	}
+
+	cfg := experiments.Config{Seed: *seed, Pool: pool, Artifacts: store}
 
 	emit := func(res experiments.Renderable) {
 		if *asJSON {
@@ -276,6 +300,12 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// Cache epilogue: one summary line on stderr after a successful run, so
+	// stdout (the golden surface) never sees it.
+	if store != nil && runs {
+		fmt.Fprintf(os.Stderr, "sisyphus: %s\n", store.RenderStats())
 	}
 
 	// Observability epilogue — runs only after a fully successful run, so

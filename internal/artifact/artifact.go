@@ -1,0 +1,373 @@
+// Package artifact is a content-addressed, memoizing build layer for the
+// expensive deterministic stages of the pipeline: scenario worlds, converged
+// BGP RIBs, and simulated measurement campaigns. The experiments are pure
+// functions of ⟨artifact kind, scenario id, seed, typed config⟩, so any two
+// consumers that agree on those four coordinates can share one build — the
+// lever that turns the suite's Sisyphean rebuild-everything loop into a
+// build-once serving layer.
+//
+// The three rules the layer enforces:
+//
+//   - Content addressing: a Key canonically hashes the four coordinates
+//     (the typed config is serialized as canonical JSON, so struct-field
+//     declaration order — not construction order — determines the bytes).
+//     Equal inputs always collide onto one entry; distinct seeds or configs
+//     never do.
+//
+//   - Singleflight: concurrent GetOrBuild calls for the same key block on a
+//     single build. Errors are never cached — a failed build is removed and
+//     every waiter sees the error, so the next request retries.
+//
+//   - Frozen-on-insert / copy-on-read: the store keeps the builder's
+//     original and every fetch (including the builder's own return value)
+//     gets a deep fork, so no caller can mutate a shared artifact. The fork
+//     discipline is what lets campaigns mutate their world (IXP joins,
+//     link flaps) without perturbing anyone else's fetch.
+//
+// A nil *Store is the universal off switch: GetOrBuild builds directly and
+// returns the value unforked — exactly the code path the experiments ran
+// before this layer existed, which is how `-cache=off` stays byte-identical
+// to the pinned goldens by construction.
+package artifact
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sisyphus/internal/obs"
+)
+
+// Key addresses one artifact: what kind of thing it is, which scenario
+// world it derives from, the seed all its randomness flows from, and a
+// canonical hash of the typed config that parameterized the build. Keys are
+// comparable values — two keys are equal iff every coordinate is.
+type Key struct {
+	// Kind names the artifact type ("world", "rib", "campaign").
+	Kind string
+	// Scenario is the scenario id the artifact derives from.
+	Scenario string
+	// Seed is the RNG root. Artifacts that draw no randomness use 0.
+	Seed uint64
+	// ConfigHash is the hex sha256 of the canonical JSON of the typed
+	// config ("-" for a nil config).
+	ConfigHash string
+}
+
+// NewKey builds a Key, canonically hashing cfg. cfg is serialized with
+// encoding/json: struct fields marshal in declaration order and map keys
+// sort, so equal configs hash equally no matter how they were constructed.
+// Fields tagged `json:"-"` are excluded — analysis-side knobs that do not
+// change the built bytes must carry that tag to maximize sharing. A config
+// that cannot marshal (channels, funcs) is a caller bug and errors.
+func NewKey(kind, scenarioID string, seed uint64, cfg any) (Key, error) {
+	k := Key{Kind: kind, Scenario: scenarioID, Seed: seed, ConfigHash: "-"}
+	if cfg != nil {
+		b, err := json.Marshal(cfg)
+		if err != nil {
+			return Key{}, fmt.Errorf("artifact: key config for %s/%s: %w", kind, scenarioID, err)
+		}
+		sum := sha256.Sum256(b)
+		k.ConfigHash = hex.EncodeToString(sum[:])
+	}
+	return k, nil
+}
+
+// String renders the key compactly for metrics and logs:
+// kind/scenario/seedN/hash-prefix.
+func (k Key) String() string {
+	h := k.ConfigHash
+	if len(h) > 12 {
+		h = h[:12]
+	}
+	return fmt.Sprintf("%s/%s/seed%d/%s", k.Kind, k.Scenario, k.Seed, h)
+}
+
+// Spec tells GetOrBuild how to construct, copy, and size one artifact type.
+type Spec[T any] struct {
+	// Build constructs the artifact from scratch. It must be a pure
+	// function of the key's coordinates: equal keys must build equal values.
+	Build func(ctx context.Context) (T, error)
+	// Fork returns a deep copy sharing no mutable state with its argument.
+	// Every GetOrBuild return value passes through Fork, so callers own
+	// what they get. Required when the store is non-nil.
+	Fork func(T) T
+	// Size estimates the artifact's resident bytes for the LRU byte bound.
+	// Nil counts the entry as zero bytes (the entry bound still applies).
+	Size func(T) int64
+}
+
+// entry is one cache slot. ready closes when the build finishes; val/err are
+// immutable afterwards. Failed builds are removed from the store before
+// ready closes, so only successful entries are ever observable in the map
+// after their build completes.
+type entry struct {
+	key   Key
+	ready chan struct{}
+	val   any
+	err   error
+	size  int64
+	// lruSeq orders ready entries for eviction; higher = more recent.
+	lruSeq uint64
+}
+
+// Stats is a snapshot of store-level counters.
+type Stats struct {
+	// Hits and Misses count GetOrBuild calls that found / did not find a
+	// completed or in-flight entry. A call that joins an in-flight build
+	// counts as a hit: the work was shared.
+	Hits, Misses int64
+	// Builds counts builds actually executed (successful or not).
+	Builds int64
+	// Evictions counts entries removed by the LRU bounds.
+	Evictions int64
+	// Entries and Bytes describe current residency.
+	Entries int
+	Bytes   int64
+}
+
+// KeyStats is the per-key slice of the counters, keyed by Key.String().
+type KeyStats struct {
+	Hits, Misses, Builds int64
+}
+
+// Store is the content-addressed artifact cache. The zero value is not
+// usable; construct with NewStore. A nil *Store disables caching entirely.
+type Store struct {
+	mu         sync.Mutex
+	entries    map[Key]*entry
+	seq        uint64
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	stats      Stats
+	perKey     map[string]*KeyStats
+}
+
+// Option tweaks a Store at construction.
+type Option func(*Store)
+
+// WithMaxEntries bounds the number of resident artifacts (default 64).
+func WithMaxEntries(n int) Option { return func(s *Store) { s.maxEntries = n } }
+
+// WithMaxBytes bounds total estimated resident bytes (default 1 GiB).
+func WithMaxBytes(n int64) Option { return func(s *Store) { s.maxBytes = n } }
+
+// NewStore returns an empty store with LRU bounds.
+func NewStore(opts ...Option) *Store {
+	s := &Store{
+		entries:    make(map[Key]*entry),
+		maxEntries: 64,
+		maxBytes:   1 << 30,
+		perKey:     make(map[string]*KeyStats),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.entries)
+	st.Bytes = s.bytes
+	return st
+}
+
+// PerKey returns a snapshot of per-key counters keyed by Key.String(),
+// letting tests assert the exactly-once build property per coordinate.
+func (s *Store) PerKey() map[string]KeyStats {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]KeyStats, len(s.perKey))
+	for k, v := range s.perKey {
+		out[k] = *v
+	}
+	return out
+}
+
+// keyStatsLocked returns the per-key counter slot, creating it if needed.
+func (s *Store) keyStatsLocked(k Key) *KeyStats {
+	id := k.String()
+	ks := s.perKey[id]
+	if ks == nil {
+		ks = &KeyStats{}
+		s.perKey[id] = ks
+	}
+	return ks
+}
+
+// evictLocked enforces the LRU bounds over ready entries. In-flight builds
+// are never evicted (their size is unknown and a waiter holds them anyway).
+func (s *Store) evictLocked() {
+	over := func() bool {
+		return len(s.entries) > s.maxEntries || s.bytes > s.maxBytes
+	}
+	for over() {
+		var victim *entry
+		for _, e := range s.entries {
+			select {
+			case <-e.ready:
+			default:
+				continue // still building
+			}
+			if victim == nil || e.lruSeq < victim.lruSeq {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return // everything resident is in flight
+		}
+		delete(s.entries, victim.key)
+		s.bytes -= victim.size
+		s.stats.Evictions++
+	}
+}
+
+// GetOrBuild returns the artifact for key, building it at most once per
+// residency: the first requester runs spec.Build, concurrent requesters for
+// the same key block on that build (honoring ctx while they wait), and
+// later requesters fork the cached value. Every successful return value is
+// spec.Fork of the stored original — callers own their copy and may mutate
+// it freely.
+//
+// A nil store is the cache-off path: spec.Build runs directly and its value
+// is returned without forking, byte-identical to pre-cache code.
+func GetOrBuild[T any](ctx context.Context, s *Store, key Key, spec Spec[T]) (T, error) {
+	var zero T
+	if s == nil {
+		return spec.Build(ctx)
+	}
+	if spec.Fork == nil {
+		return zero, fmt.Errorf("artifact: %s: Spec.Fork is required with a live store", key)
+	}
+
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		// Hit (completed or in-flight): bump recency, then wait outside the
+		// lock. Joining an in-flight build counts as a hit — the build work
+		// is shared either way.
+		s.seq++
+		e.lruSeq = s.seq
+		s.stats.Hits++
+		s.keyStatsLocked(key).Hits++
+		s.mu.Unlock()
+		obs.Add(ctx, "cache.hits", 1)
+		obs.Add(ctx, "cache.hit."+key.String(), 1)
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+		if e.err != nil {
+			return zero, e.err
+		}
+		return spec.Fork(e.val.(T)), nil
+	}
+
+	// Miss: insert the pending entry and build outside the lock.
+	e := &entry{key: key, ready: make(chan struct{})}
+	s.seq++
+	e.lruSeq = s.seq
+	s.entries[key] = e
+	s.stats.Misses++
+	s.stats.Builds++
+	ks := s.keyStatsLocked(key)
+	ks.Misses++
+	ks.Builds++
+	s.mu.Unlock()
+	obs.Add(ctx, "cache.misses", 1)
+	obs.Add(ctx, "cache.miss."+key.String(), 1)
+
+	start := time.Now()
+	val, err := spec.Build(ctx)
+	buildMs := time.Since(start).Milliseconds()
+	obs.Add(ctx, "cache.build_ms."+key.String(), buildMs)
+
+	s.mu.Lock()
+	if err != nil {
+		// Errors are never cached: remove the entry so the next request
+		// retries, then release every waiter with the error.
+		delete(s.entries, key)
+		e.err = err
+		close(e.ready)
+		s.mu.Unlock()
+		return zero, err
+	}
+	e.val = val
+	if spec.Size != nil {
+		e.size = spec.Size(val)
+	}
+	s.bytes += e.size
+	close(e.ready)
+	s.evictLocked()
+	s.mu.Unlock()
+	return spec.Fork(val), nil
+}
+
+// ctxKey carries the store on a context.
+type ctxKey struct{}
+
+// With attaches the store to the context; a nil store returns ctx unchanged.
+func With(ctx context.Context, s *Store) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// From returns the store riding the context, or nil (cache off).
+func From(ctx context.Context) *Store {
+	s, _ := ctx.Value(ctxKey{}).(*Store)
+	return s
+}
+
+// RenderStats formats a one-line human-readable cache summary, sorted keys
+// omitted — the per-key breakdown lives in the obs metrics table.
+func (s *Store) RenderStats() string {
+	st := s.Stats()
+	return fmt.Sprintf("cache: %d hits, %d misses, %d builds, %d evictions, %d entries, %s resident",
+		st.Hits, st.Misses, st.Builds, st.Evictions, st.Entries, humanBytes(st.Bytes))
+}
+
+// Keys lists resident keys sorted by String(), for tests and debugging.
+func (s *Store) Keys() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		out = append(out, k.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"sisyphus/internal/artifact"
+	"sisyphus/internal/netsim/scenario"
+	"sisyphus/internal/obs"
+	"sisyphus/internal/parallel"
+)
+
+// cachedRun is one full cached suite run plus its instrumentation.
+type cachedRun struct {
+	outs  []RunOutcome
+	store *artifact.Store
+	rec   *obs.Recorder
+}
+
+// cachedSuite runs the full seed-42 suite exactly once with a live artifact
+// store and a metrics recorder, shared by the cache-equivalence and
+// exactly-once assertions below.
+var cachedSuite = sync.OnceValues(func() (cachedRun, error) {
+	r := cachedRun{store: artifact.NewStore(), rec: obs.NewRecorder()}
+	ctx := obs.With(context.Background(), r.rec)
+	var err error
+	r.outs, err = RunAll(ctx, Config{Seed: 42, Pool: parallel.Pool{}, Artifacts: r.store})
+	return r, err
+})
+
+// TestSuiteCachedTextMatchesGolden is the tentpole's headline acceptance
+// criterion, the cache-on twin of TestSuiteTextMatchesGolden: with every
+// world, RIB, and campaign flowing through the artifact store, the rendered
+// suite must stay byte-identical to the same pinned seed-42 golden the
+// uncached run is held to.
+func TestSuiteCachedTextMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite run")
+	}
+	want, err := os.ReadFile("testdata/all_seed42.golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cachedSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := suiteText(t, r.outs)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("cached suite text drifted from golden (%d bytes vs %d): the artifact layer changed experiment output", len(got), len(want))
+	}
+}
+
+// TestSuiteCachedJSONMatchesGolden is the same pin for the JSON surface:
+// full float precision, so a 1-ULP drift anywhere in a cached artifact
+// shows up here even if the rounded text tables hide it.
+func TestSuiteCachedJSONMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite run")
+	}
+	want, err := os.ReadFile("testdata/all_seed42.golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cachedSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, oc := range r.outs {
+		if oc.Err != nil {
+			t.Fatalf("%s: %v", oc.Exp.ID, oc.Err)
+		}
+		buf.WriteString(oc.Exp.Header())
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(oc.Res); err != nil {
+			t.Fatalf("%s: %v", oc.Exp.ID, err)
+		}
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("cached suite JSON drifted from golden (%d bytes vs %d)", buf.Len(), len(want))
+	}
+}
+
+// TestSuiteCachedParallelMatchesGolden re-runs the cached suite across a
+// 4-worker pool: concurrent experiments racing into the same store must
+// still render the pinned bytes (singleflight + fork discipline at work).
+func TestSuiteCachedParallelMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite run")
+	}
+	want, err := os.ReadFile("testdata/all_seed42.golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := RunAll(context.Background(), Config{
+		Seed: 42, Pool: parallel.NewPool(4), Artifacts: artifact.NewStore(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := suiteText(t, outs)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("cached parallel suite drifted from golden (%d bytes vs %d)", len(got), len(want))
+	}
+}
+
+// TestCachedSuiteBuildsEachKeyOnce pins the build-once property: across the
+// whole cached suite every ⟨kind, scenario, seed, config⟩ coordinate is
+// built exactly once, asserted both on the store's per-key counters and on
+// the obs cache.miss.* counters summed across experiment scopes.
+func TestCachedSuiteBuildsEachKeyOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite run")
+	}
+	r, err := cachedSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perKey := r.store.PerKey()
+	if len(perKey) == 0 {
+		t.Fatal("cached suite recorded no artifact keys")
+	}
+	var hits int64
+	for key, ks := range perKey {
+		if ks.Builds != 1 {
+			t.Errorf("%s built %d times, want exactly 1", key, ks.Builds)
+		}
+		if ks.Misses != 1 {
+			t.Errorf("%s missed %d times, want exactly 1", key, ks.Misses)
+		}
+		hits += ks.Hits
+	}
+	if hits == 0 {
+		t.Error("no cache hits across the suite: nothing was shared")
+	}
+	// The same property through the observability layer: each cache.miss.<key>
+	// counter, summed over experiment scopes, is exactly 1.
+	missTotals := make(map[string]float64)
+	for _, metrics := range r.rec.Metrics() {
+		for name, v := range metrics {
+			if strings.HasPrefix(name, "cache.miss.") {
+				missTotals[strings.TrimPrefix(name, "cache.miss.")] += v
+			}
+		}
+	}
+	if len(missTotals) != len(perKey) {
+		t.Errorf("obs saw %d distinct keys, store saw %d", len(missTotals), len(perKey))
+	}
+	for key, n := range missTotals {
+		if n != 1 {
+			t.Errorf("obs counted %v misses for %s, want exactly 1", n, key)
+		}
+	}
+}
+
+// TestFetchWorldMutationSafety is the domain-level fork battery: mutate
+// everything reachable from one fetched world/RIB, then refetch and verify
+// the stored artifacts were untouched.
+func TestFetchWorldMutationSafety(t *testing.T) {
+	store := artifact.NewStore()
+	ctx := artifact.With(context.Background(), store)
+	pool := parallel.Pool{}
+
+	s1, rib1, err := fetchWorld(ctx, pool, scenario.SouthAfricaID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rib1 == nil {
+		t.Fatal("cached fetchWorld must return a RIB")
+	}
+	origTreated := s1.TreatedASNs[0]
+	origDonors := len(s1.Donors)
+
+	// Mutate the scenario metadata slices.
+	s1.TreatedASNs[0] = 65000
+	s1.Treated[0].City = "Nowhere"
+	s1.ContentASNs[0] = 65001
+	s1.Donors = append(s1.Donors, scenario.Unit{ASN: 65002, City: "Nowhere"})
+	// Mutate the topology itself: graft a new IXP member.
+	if _, err := s1.Topo.JoinIXP(s1.IXPName, origTreated); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the RIB through a looked-up route (Lookup returns interior
+	// pointers in the pre-fork representation; a fork must own them).
+	if rt := rib1.Lookup(3741, scenario.BigContent); rt != nil && len(rt.Path) > 0 {
+		rt.Path[0] = 65003
+		rt.LocalPref = -1
+	}
+
+	s2, rib2, err := fetchWorld(ctx, pool, scenario.SouthAfricaID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 == s1 || s2.Topo == s1.Topo || rib2 == rib1 {
+		t.Fatal("refetch returned shared pointers, not forks")
+	}
+	if s2.TreatedASNs[0] != origTreated || s2.Treated[0].City == "Nowhere" {
+		t.Fatalf("treated-unit mutation leaked into the store: %v", s2.TreatedASNs)
+	}
+	if s2.ContentASNs[0] == 65001 || len(s2.Donors) != origDonors {
+		t.Fatal("content/donor mutation leaked into the store")
+	}
+	if _, member := s2.Topo.IXPMemberIndex(s2.IXPName, origTreated); member {
+		t.Fatal("topology mutation (IXP join) leaked into the store")
+	}
+	rt := rib2.Lookup(3741, scenario.BigContent)
+	if rt == nil {
+		t.Fatal("refetched RIB lost the 3741 → BigContent route")
+	}
+	if rt.LocalPref == -1 || (len(rt.Path) > 0 && rt.Path[0] == 65003) {
+		t.Fatalf("RIB mutation leaked into the store: %+v", rt)
+	}
+	// The store was consulted: one build per key, later fetches were hits.
+	for key, ks := range store.PerKey() {
+		if ks.Builds != 1 {
+			t.Errorf("%s built %d times during the battery, want 1", key, ks.Builds)
+		}
+	}
+}
+
+// TestFetchCampaignMutationSafety runs a short campaign through the cache,
+// mauls the returned measurement store and world, and verifies a refetch
+// sees none of it.
+func TestFetchCampaignMutationSafety(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a one-week campaign")
+	}
+	store := artifact.NewStore()
+	ctx := artifact.With(context.Background(), store)
+	pool := parallel.Pool{}
+	p := campaignParams{Weeks: 1, JoinWeek: 0, UserRate: 0.25, Join: false}
+
+	s1, ms1, err := fetchCampaign(ctx, pool, scenario.SouthAfricaID, 42, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms1.Len() == 0 {
+		t.Fatal("campaign produced no measurements")
+	}
+	origLen := ms1.Len()
+	m := ms1.All()[0]
+	origRTT := m.RTTms
+	origHops := len(m.Hops)
+
+	// Maul the fetched copies.
+	m.RTTms = -999
+	m.Hops = m.Hops[:0]
+	s1.TreatedASNs[0] = 65000
+
+	s2, ms2, err := fetchCampaign(ctx, pool, scenario.SouthAfricaID, 42, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms2 == ms1 || s2 == s1 {
+		t.Fatal("refetch returned shared pointers, not forks")
+	}
+	if ms2.Len() != origLen {
+		t.Fatalf("store length drifted: %d vs %d", ms2.Len(), origLen)
+	}
+	m2 := ms2.All()[0]
+	if m2.RTTms != origRTT || len(m2.Hops) != origHops {
+		t.Fatalf("measurement mutation leaked into the store: rtt=%v hops=%d", m2.RTTms, len(m2.Hops))
+	}
+	if s2.TreatedASNs[0] == 65000 {
+		t.Fatal("world mutation leaked into the store")
+	}
+	// Exactly one campaign simulation happened.
+	for key, ks := range store.PerKey() {
+		if strings.HasPrefix(key, kindCampaign+"/") && ks.Builds != 1 {
+			t.Errorf("%s built %d times, want 1", key, ks.Builds)
+		}
+	}
+}

@@ -115,11 +115,11 @@ type confoundingSim struct {
 // egress, simulates it, and collects the observational columns plus the
 // forced-route ground-truth contrast.
 func confoundingScenario(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*confoundingSim, error) {
-	s, err := scenario.BuildSouthAfrica()
+	s, rib, err := fetchWorld(ctx, pool, scenario.SouthAfricaID)
 	if err != nil {
 		return nil, err
 	}
-	e := engine.New(s.Topo, seed, engine.Config{AdaptiveEgress: true, Pool: pool}).Bind(ctx)
+	e := engine.New(s.Topo, seed, engine.Config{AdaptiveEgress: true, Pool: pool, InitialRIB: rib}).Bind(ctx)
 
 	// AS3741's content routes prefer Transit-A (shorter path, lower ASN), so
 	// Transit-A is the primary egress. Recurring flash crowds on that link

@@ -53,11 +53,11 @@ func RunCounterfactual(ctx context.Context, pool parallel.Pool, seed uint64, hou
 	eventHour := float64(hours) - 200
 
 	run := func(withEvent bool) (*engine.Engine, []float64, []float64, []float64, error) {
-		s, err := scenario.BuildSouthAfrica()
+		s, rib, err := fetchWorld(ctx, pool, scenario.SouthAfricaID)
 		if err != nil {
 			return nil, nil, nil, nil, err
 		}
-		e := engine.New(s.Topo, seed, engine.Config{Pool: pool}).Bind(ctx)
+		e := engine.New(s.Topo, seed, engine.Config{Pool: pool, InitialRIB: rib}).Bind(ctx)
 		rel, err := s.Topo.Relationships()
 		if err != nil {
 			return nil, nil, nil, nil, err

@@ -6,11 +6,8 @@ import (
 
 	"sisyphus/internal/causal/data"
 	"sisyphus/internal/causal/estimate"
-	"sisyphus/internal/netsim/engine"
 	"sisyphus/internal/netsim/scenario"
 	"sisyphus/internal/parallel"
-	"sisyphus/internal/platform"
-	"sisyphus/internal/probe"
 )
 
 // DiDResult contrasts difference-in-differences with synthetic control on
@@ -60,44 +57,14 @@ func RunDiD(ctx context.Context, pool parallel.Pool, seed uint64) (*DiDResult, e
 		return nil, fmt.Errorf("experiments: no treated units crossed")
 	}
 
-	// Re-collect the same world's measurements for the DiD panel (same
-	// seeds ⇒ identical data to what Table 1 analyzed).
-	s, err := scenario.BuildSouthAfrica()
+	// Re-fetch the same world's measurements for the DiD panel: the factual
+	// campaign Table 1 just analyzed, by the same artifact key (same seeds
+	// ⇒ identical data), so with the cache on this is a pure hit.
+	wd := cfg.withDefaults()
+	joinHour := float64(wd.JoinWeek) * 7 * 24
+	s, store, err := fetchCampaign(ctx, pool, wd.Scenario, wd.Seed, campaignParamsFrom(wd, true))
 	if err != nil {
 		return nil, err
-	}
-	e := engine.New(s.Topo, cfg.Seed, engine.Config{AdaptiveEgress: true, Pool: pool}).Bind(ctx)
-	pr := probe.NewProber(e, cfg.Seed+1)
-	joinHour := float64(cfg.JoinWeek) * 7 * 24
-	for _, asn := range s.TreatedASNs {
-		e.Schedule(engine.EvJoinIXP(joinHour, s.IXPName, asn, 0.02))
-	}
-	var pops []platform.UserPop
-	for _, u := range s.AllUnits() {
-		src, err := s.UserPoP(u)
-		if err != nil {
-			return nil, err
-		}
-		pops = append(pops, platform.UserPop{Src: src, Dst: scenario.BigContent, Size: 1})
-	}
-	um := platform.NewUserModel(pops, cfg.Seed+2)
-	um.BaseRate = cfg.withDefaults().UserRate
-	store := platform.NewStore()
-	total := float64(cfg.Weeks) * 7 * 24
-	for e.Hour() < total {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if err := e.Step(); err != nil {
-			return nil, err
-		}
-		_, ms, err := um.Step(pr)
-		if err != nil {
-			return nil, err
-		}
-		if err := store.Add(ms...); err != nil {
-			return nil, err
-		}
 	}
 
 	treatedSet := make(map[scenario.Unit]bool)

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 
+	"sisyphus/internal/artifact"
 	"sisyphus/internal/obs"
 	"sisyphus/internal/parallel"
 	"sisyphus/internal/pipeline"
@@ -37,6 +38,13 @@ type Config struct {
 	// propagation, Monte-Carlo trials). Experiments are bit-identical at
 	// any width.
 	Pool parallel.Pool
+	// Artifacts, when non-nil, memoizes scenario worlds, pre-converged RIBs,
+	// and measurement campaigns by content-addressed key, so experiments that
+	// request the same ⟨kind, scenario, seed, config⟩ share one build. Nil
+	// disables caching: every fetch falls through to a fresh build, which is
+	// byte-identical to the cached path by construction (fetches return
+	// defensive forks either way the store is consulted).
+	Artifacts *artifact.Store
 	// Opts are the experiment's typed options; nil runs the registered
 	// defaults (Experiment.Defaults). Passing options of another
 	// experiment's type is an error.
@@ -121,6 +129,10 @@ func register(e Experiment) {
 	run := e.Run
 	e.Run = func(ctx context.Context, cfg Config) (Renderable, error) {
 		ctx = obs.Scoped(ctx, e.ID)
+		// Ride the artifact store on the context so deeply nested helpers
+		// (fetchWorld, fetchCampaign) reach it without threading a parameter
+		// through every experiment signature. A nil store is the off switch.
+		ctx = artifact.With(ctx, cfg.Artifacts)
 		res, err := run(ctx, cfg)
 		if err != nil {
 			return nil, err
@@ -231,7 +243,7 @@ func RunAll(ctx context.Context, cfg Config) ([]RunOutcome, error) {
 		sort.Slice(picked, func(i, j int) bool { return picked[i].ID < picked[j].ID })
 		exps = picked
 	}
-	runCfg := Config{Seed: cfg.Seed, Pool: cfg.Pool}
+	runCfg := Config{Seed: cfg.Seed, Pool: cfg.Pool, Artifacts: cfg.Artifacts}
 	out, err := parallel.Map(ctx, cfg.Pool, len(exps), func(i int) (RunOutcome, error) {
 		res, rerr := exps[i].Run(ctx, runCfg)
 		return RunOutcome{Exp: exps[i], Res: res, Err: rerr}, nil

@@ -67,11 +67,12 @@ func RunExposure(ctx context.Context, pool parallel.Pool, seed uint64) (*Exposur
 	paths := make(map[topo.PoPID]*bgp.Path)
 	baseRTT := make(map[topo.PoPID]float64)
 	err := stagedRun(ctx, "exposure", func(ctx context.Context) error {
-		var err error
-		if s, err = scenario.BuildSouthAfrica(); err != nil {
+		s2, rib, err := fetchWorld(ctx, pool, scenario.SouthAfricaID)
+		if err != nil {
 			return err
 		}
-		e = engine.New(s.Topo, seed, engine.Config{Pool: pool}).Bind(ctx)
+		s = s2
+		e = engine.New(s.Topo, seed, engine.Config{Pool: pool, InitialRIB: rib}).Bind(ctx)
 		if err := e.RunUntil(12); err != nil {
 			return err
 		}

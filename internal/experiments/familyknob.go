@@ -90,11 +90,11 @@ type familyKnobSim struct {
 // familyKnobScenario pins the v6 plane to the alternate transit and runs the
 // per-hour randomized family toggles.
 func familyKnobScenario(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*familyKnobSim, error) {
-	s, err := scenario.BuildSouthAfrica()
+	s, rib, err := fetchWorld(ctx, pool, scenario.SouthAfricaID)
 	if err != nil {
 		return nil, err
 	}
-	e := engine.New(s.Topo, seed, engine.Config{AdaptiveEgress: true, Pool: pool}).Bind(ctx)
+	e := engine.New(s.Topo, seed, engine.Config{AdaptiveEgress: true, Pool: pool, InitialRIB: rib}).Bind(ctx)
 	pr := probe.NewProber(e, seed+1)
 	knobs := platform.NewKnobs(pr, seed+2)
 

@@ -103,11 +103,11 @@ type ivSim struct {
 // instrumentScenario builds the dual-homed world with unobserved congestion
 // and exogenous maintenance windows, then simulates it hour by hour.
 func instrumentScenario(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*ivSim, error) {
-	s, err := scenario.BuildSouthAfrica()
+	s, rib, err := fetchWorld(ctx, pool, scenario.SouthAfricaID)
 	if err != nil {
 		return nil, err
 	}
-	e := engine.New(s.Topo, seed, engine.Config{AdaptiveEgress: true, Pool: pool}).Bind(ctx)
+	e := engine.New(s.Topo, seed, engine.Config{AdaptiveEgress: true, Pool: pool, InitialRIB: rib}).Bind(ctx)
 	rel, err := s.Topo.Relationships()
 	if err != nil {
 		return nil, err

@@ -100,11 +100,11 @@ type mlabSim struct {
 // mlabScenario builds the Johannesburg metro with a periodically congested
 // site-B transit and simulates both assignment arms hour by hour.
 func mlabScenario(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*mlabSim, error) {
-	s, err := scenario.BuildSouthAfrica()
+	s, rib, err := fetchWorld(ctx, pool, scenario.SouthAfricaID)
 	if err != nil {
 		return nil, err
 	}
-	e := engine.New(s.Topo, seed, engine.Config{Pool: pool}).Bind(ctx)
+	e := engine.New(s.Topo, seed, engine.Config{Pool: pool, InitialRIB: rib}).Bind(ctx)
 	pr := probe.NewProber(e, seed+1)
 
 	// Congest the Transit-B side (which hosts MLabHostB) periodically.

@@ -85,7 +85,7 @@ func TestRunAllMatchesSequential(t *testing.T) {
 // TestConcurrentSuitesDoNotInterfere is the pool-as-value guarantee: two
 // suites running at once in one process, each with a different pool width,
 // must each produce exactly what they produce alone. Before this PR the
-// width lived in a package-global, so one suite's SetWorkers leaked into the
+// width lived in a package-global, so one suite's override leaked into the
 // other; now the pool travels by value in Config and nothing global is
 // mutated.
 func TestConcurrentSuitesDoNotInterfere(t *testing.T) {

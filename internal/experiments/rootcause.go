@@ -74,11 +74,11 @@ func RunRootCause(ctx context.Context, pool parallel.Pool, seed uint64) (*RootCa
 		totalUnreach   int
 	}
 	run := func(withCongestion, withCut bool) (*worldOut, error) {
-		s, err := scenario.BuildSouthAfrica()
+		s, rib, err := fetchWorld(ctx, pool, scenario.SouthAfricaID)
 		if err != nil {
 			return nil, err
 		}
-		e := engine.New(s.Topo, seed, engine.Config{Pool: pool}).Bind(ctx)
+		e := engine.New(s.Topo, seed, engine.Config{Pool: pool, InitialRIB: rib}).Bind(ctx)
 		rel, err := s.Topo.Relationships()
 		if err != nil {
 			return nil, err

@@ -12,9 +12,7 @@ import (
 	"sisyphus/internal/faults"
 	"sisyphus/internal/ixp"
 	"sisyphus/internal/mathx"
-	"sisyphus/internal/netsim/engine"
 	"sisyphus/internal/netsim/scenario"
-	"sisyphus/internal/obs"
 	"sisyphus/internal/parallel"
 	"sisyphus/internal/pipeline"
 	"sisyphus/internal/platform"
@@ -39,12 +37,12 @@ type Table1Config struct {
 	// estimator has to shrug off. Zero disables.
 	FlapLink       topo.LinkID
 	FlapEveryHours float64
-	// Build overrides the world constructor (default
-	// scenario.BuildSouthAfrica); the trombone-era experiment passes
-	// scenario.BuildTromboneEra to run the identical pipeline on the
-	// historical topology. Functions have no JSON form; the field is
-	// omitted from serialized results.
-	Build func() (*scenario.SouthAfrica, error) `json:"-"`
+	// Scenario names the world to run on (default scenario.SouthAfricaID);
+	// the trombone-era experiment passes scenario.TromboneEraID to run the
+	// identical pipeline on the historical topology. The id participates in
+	// the artifact key, not the serialized result (which predates the
+	// field), so it is omitted from JSON.
+	Scenario string `json:"-"`
 	// Faults, when non-nil, installs a fault injector with this
 	// configuration on the measurement path (probe drops, vantage outages,
 	// truncation, timestamp skew, duplicate/reordered delivery). A non-nil
@@ -78,6 +76,9 @@ func (c Table1Config) withDefaults() Table1Config {
 	}
 	if c.UserRate <= 0 {
 		c.UserRate = 0.25
+	}
+	if c.Scenario == "" {
+		c.Scenario = scenario.SouthAfricaID
 	}
 	return c
 }
@@ -170,88 +171,13 @@ func RunTable1(ctx context.Context, pool parallel.Pool, cfg Table1Config) (*Tabl
 	totalHours := float64(cfg.Weeks) * 7 * 24
 	joinHour := float64(cfg.JoinWeek) * 7 * 24
 
-	if cfg.Build == nil {
-		cfg.Build = scenario.BuildSouthAfrica
-	}
+	// Campaign simulation lives behind the artifact layer: the factual and
+	// counterfactual worlds are campaign artifacts keyed by ⟨scenario id,
+	// seed, campaign params⟩, so suite runs that agree on those coordinates
+	// (DiD's re-analysis, the trombone-era modern arm, the fault-free chaos
+	// level) share one simulation instead of re-running it.
 	collect := func(ctx context.Context, withJoin bool) (*scenario.SouthAfrica, *platform.Store, error) {
-		s, err := cfg.Build()
-		if err != nil {
-			return nil, nil, err
-		}
-		e := engine.New(s.Topo, cfg.Seed, engine.Config{AdaptiveEgress: true, Pool: pool}).Bind(ctx)
-		pr := probe.NewProber(e, cfg.Seed+1)
-		// Each world gets its own injector so the factual and counterfactual
-		// runs see identical fault streams (same seed, same pre-split rule).
-		var inj *faults.Injector
-		if cfg.Faults != nil {
-			inj = faults.New(*cfg.Faults)
-			pr.Hook = inj
-			pr.Retry = cfg.Retry
-		}
-		if withJoin {
-			for _, asn := range s.TreatedASNs {
-				e.Schedule(engine.EvJoinIXP(joinHour, s.IXPName, asn, 0.02))
-			}
-			for _, asn := range cfg.AlsoJoin {
-				e.Schedule(engine.EvJoinIXP(joinHour, s.IXPName, asn, 0.02))
-			}
-		}
-		if cfg.FlapEveryHours > 0 {
-			for h := 100.0; h < totalHours; h += cfg.FlapEveryHours {
-				e.Schedule(engine.EvLinkDown(h, cfg.FlapLink))
-				e.Schedule(engine.EvLinkUp(h+6, cfg.FlapLink))
-			}
-		}
-		var pops []platform.UserPop
-		for _, u := range s.AllUnits() {
-			src, err := s.UserPoP(u)
-			if err != nil {
-				return nil, nil, err
-			}
-			pops = append(pops, platform.UserPop{Src: src, Dst: scenario.BigContent, Size: 1})
-		}
-		um := platform.NewUserModel(pops, cfg.Seed+2)
-		um.BaseRate = cfg.UserRate
-		store := platform.NewStore()
-		for e.Hour() < totalHours {
-			if err := ctx.Err(); err != nil {
-				return nil, nil, err
-			}
-			if err := e.Step(); err != nil {
-				return nil, nil, err
-			}
-			_, ms, err := um.Step(pr)
-			if err != nil {
-				return nil, nil, err
-			}
-			if inj != nil {
-				ms = inj.Deliver(ms...)
-			}
-			if err := store.Add(ms...); err != nil {
-				return nil, nil, err
-			}
-		}
-		if inj != nil {
-			if err := store.Add(inj.Flush()...); err != nil {
-				return nil, nil, err
-			}
-		}
-		// Run-trace accounting, summed across the factual and (with
-		// WithTruth) counterfactual worlds. No-ops without a recorder.
-		if inj != nil {
-			st := inj.Stats()
-			obs.Add(ctx, "faults.drops", st.Drops)
-			obs.Add(ctx, "faults.outage_failures", st.OutageFailures)
-			obs.Add(ctx, "faults.truncations", st.Truncations)
-			obs.Add(ctx, "faults.duplicates", st.Duplicates)
-			obs.Add(ctx, "faults.reorders", st.Reorders)
-		}
-		cov := store.TotalCoverage()
-		obs.Add(ctx, "store.scheduled", int64(cov.Scheduled))
-		obs.Add(ctx, "store.delivered", int64(cov.Delivered))
-		obs.Add(ctx, "store.failed", int64(cov.Failed))
-		obs.Gauge(ctx, "store.coverage", cov.Fraction())
-		return s, store, nil
+		return fetchCampaign(ctx, pool, cfg.Scenario, cfg.Seed, campaignParamsFrom(cfg, withJoin))
 	}
 
 	// Stage outputs. Each type is what crosses a seam — the artifact a

@@ -1,0 +1,58 @@
+package bgp
+
+import "sisyphus/internal/netsim/topo"
+
+// Fork returns a deep copy of the RIB rebound onto t, which must be a
+// topology equivalent to the one the RIB was computed over (typically a
+// Clone of it). The route tables, relationship maps, and policy are all
+// copied so the caller's engine can recompute incrementally without
+// touching the frozen original; the compute pool is a value and carries
+// over. This is what lets one converged fixed point seed many engines.
+func (r *RIB) Fork(t *topo.Topology) *RIB {
+	out := &RIB{
+		Topo:   t,
+		Rel:    cloneRelationships(r.Rel),
+		best:   make(map[topo.ASN]map[topo.ASN]*Route, len(r.best)),
+		policy: r.policy.Clone(),
+		pool:   r.pool,
+	}
+	for dest, m := range r.best {
+		cm := make(map[topo.ASN]*Route, len(m))
+		for a, rt := range m {
+			if rt == nil {
+				cm[a] = nil
+				continue
+			}
+			c := *rt
+			c.Path = append([]topo.ASN(nil), rt.Path...)
+			cm[a] = &c
+		}
+		out.best[dest] = cm
+	}
+	return out
+}
+
+func cloneRelationships(rel *topo.ASRelationships) *topo.ASRelationships {
+	if rel == nil {
+		return nil
+	}
+	out := &topo.ASRelationships{
+		Rel:   make(map[topo.ASN]map[topo.ASN]topo.RelKind, len(rel.Rel)),
+		Links: make(map[topo.ASN]map[topo.ASN][]topo.LinkID, len(rel.Links)),
+	}
+	for a, m := range rel.Rel {
+		cm := make(map[topo.ASN]topo.RelKind, len(m))
+		for b, k := range m {
+			cm[b] = k
+		}
+		out.Rel[a] = cm
+	}
+	for a, m := range rel.Links {
+		cm := make(map[topo.ASN][]topo.LinkID, len(m))
+		for b, ids := range m {
+			cm[b] = append([]topo.LinkID(nil), ids...)
+		}
+		out.Links[a] = cm
+	}
+	return out
+}

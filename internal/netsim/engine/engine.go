@@ -40,6 +40,14 @@ type Config struct {
 	// Pool shards routing recomputation (bgp.Compute) across workers. The
 	// zero value is the default pool; routing is bit-identical at any width.
 	Pool parallel.Pool
+	// InitialRIB seeds the engine with a pre-converged routing state —
+	// typically an artifact-store fork of the scenario's fixed point under
+	// the empty policy. The engine starts clean (not dirty): the first RIB
+	// query returns this state instead of recomputing it, and any event or
+	// policy change dirties it as usual. The caller must hand over a RIB
+	// computed over the engine's topology under an empty policy, which is
+	// exactly what every engine would compute for itself on first use.
+	InitialRIB *bgp.RIB
 }
 
 func (c Config) withDefaults() Config {
@@ -105,7 +113,7 @@ type Engine struct {
 
 // New creates an engine over the topology with the given noise seed.
 func New(t *topo.Topology, seed uint64, cfg Config) *Engine {
-	return &Engine{
+	e := &Engine{
 		Topo:      t,
 		Policy:    bgp.NewPolicy(),
 		Traffic:   traffic.NewModel(t, seed),
@@ -114,6 +122,14 @@ func New(t *topo.Topology, seed uint64, cfg Config) *Engine {
 		depreffed: make(map[topo.ASN]topo.ASN),
 		ctx:       context.Background(),
 	}
+	// A pre-converged RIB (artifact-cache fork) replaces the first compute.
+	// The engine's policy starts empty, matching the seed RIB's policy, so
+	// this is observationally identical to computing lazily on first use.
+	if cfg.InitialRIB != nil {
+		e.rib = cfg.InitialRIB
+		e.dirty = false
+	}
+	return e
 }
 
 // Bind attaches the run context: once ctx is cancelled, routing

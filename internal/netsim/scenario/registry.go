@@ -1,0 +1,51 @@
+package scenario
+
+import (
+	"fmt"
+
+	"sisyphus/internal/netsim/topo"
+)
+
+// Scenario ids for the artifact layer: every world the suite can build has
+// a stable string name that participates in artifact keys.
+const (
+	// SouthAfricaID names the Table 1 world (BuildSouthAfrica).
+	SouthAfricaID = "southafrica"
+	// TromboneEraID names the historical trombone-era world
+	// (BuildTromboneEra).
+	TromboneEraID = "tromboneera"
+)
+
+// Build constructs the named scenario from scratch. It is the single
+// registry the artifact layer builds worlds through: the id is part of the
+// artifact key, so two consumers naming the same id share one build.
+func Build(id string) (*SouthAfrica, error) {
+	switch id {
+	case SouthAfricaID:
+		return BuildSouthAfrica()
+	case TromboneEraID:
+		return BuildTromboneEra()
+	default:
+		return nil, fmt.Errorf("scenario: unknown scenario id %q", id)
+	}
+}
+
+// IDs lists the registered scenario ids.
+func IDs() []string { return []string{SouthAfricaID, TromboneEraID} }
+
+// Fork returns a deep copy of the scenario: the topology is cloned (so IXP
+// joins and link flaps stay private to the copy) and every slice is copied.
+// Required by the artifact store's copy-on-read rule.
+func (s *SouthAfrica) Fork() *SouthAfrica {
+	out := &SouthAfrica{
+		Topo:           s.Topo.Clone(),
+		IXPName:        s.IXPName,
+		IXPPrefix:      s.IXPPrefix,
+		ContentASNs:    append([]topo.ASN(nil), s.ContentASNs...),
+		Treated:        append([]Unit(nil), s.Treated...),
+		TreatedASNs:    append([]topo.ASN(nil), s.TreatedASNs...),
+		Donors:         append([]Unit(nil), s.Donors...),
+		MLabServerASNs: append([]topo.ASN(nil), s.MLabServerASNs...),
+	}
+	return out
+}

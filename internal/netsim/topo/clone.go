@@ -1,0 +1,48 @@
+package topo
+
+// Clone returns a deep copy of the topology: a caller may join IXPs, flap
+// links, or otherwise mutate the copy without perturbing the original. The
+// geo Registry is shared — it is read-only after construction — but every
+// mutable structure (AS records, PoPs, links, adjacency, IXP membership) is
+// copied. This is the primitive that lets the artifact store hand out
+// independent worlds from one frozen build.
+func (t *Topology) Clone() *Topology {
+	out := &Topology{
+		Registry:     t.Registry,
+		ases:         make(map[ASN]*AS, len(t.ases)),
+		asOrder:      append([]ASN(nil), t.asOrder...),
+		pops:         append([]PoP(nil), t.pops...),
+		popIndex:     make(map[popKey]PoPID, len(t.popIndex)),
+		links:        make([]*Link, len(t.links)),
+		adj:          make(map[PoPID][]LinkID, len(t.adj)),
+		ixps:         make(map[string]*IXP, len(t.ixps)),
+		ixpMemberIdx: make(map[string]map[ASN]int, len(t.ixpMemberIdx)),
+	}
+	for asn, a := range t.ases {
+		c := *a
+		out.ases[asn] = &c
+	}
+	for k, v := range t.popIndex {
+		out.popIndex[k] = v
+	}
+	for i, l := range t.links {
+		c := *l
+		out.links[i] = &c
+	}
+	for p, ids := range t.adj {
+		out.adj[p] = append([]LinkID(nil), ids...)
+	}
+	for name, x := range t.ixps {
+		c := *x
+		c.Members = append([]ASN(nil), x.Members...)
+		out.ixps[name] = &c
+	}
+	for name, m := range t.ixpMemberIdx {
+		cm := make(map[ASN]int, len(m))
+		for asn, i := range m {
+			cm[asn] = i
+		}
+		out.ixpMemberIdx[name] = cm
+	}
+	return out
+}

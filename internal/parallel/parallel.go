@@ -9,7 +9,7 @@
 // no goroutines, no locks, and no global state, so two runs with different
 // pools never interfere — the property that lets a server host concurrent
 // analyses with per-request widths. The zero Pool is valid and resolves to
-// the process default (the SetWorkers override if set, else GOMAXPROCS).
+// the process default (GOMAXPROCS).
 //
 // Cancellation contract: ForEach and Map stop scheduling new tasks as soon
 // as ctx is cancelled and return ctx.Err(). Tasks already running finish
@@ -36,12 +36,6 @@ import (
 	"sisyphus/internal/obs"
 )
 
-// workerOverride, when positive, pins the width that zero-valued (default)
-// pools resolve to; 0 means "use GOMAXPROCS". It exists only as a process-
-// wide shim for code outside the pipeline (and for tests of the shim
-// itself); run paths pass explicit Pool values instead.
-var workerOverride atomic.Int64
-
 // Pool is a value describing a worker-pool width. The zero value resolves
 // to the process default at call time. Copying a Pool is free and safe;
 // concurrent use of the same Pool value is safe (it is immutable).
@@ -50,7 +44,7 @@ type Pool struct {
 }
 
 // NewPool returns a pool pinned to the given width. n <= 0 returns the
-// default pool (GOMAXPROCS, or the SetWorkers override).
+// default pool (GOMAXPROCS).
 func NewPool(n int) Pool {
 	if n < 0 {
 		n = 0
@@ -62,35 +56,16 @@ func NewPool(n int) Pool {
 func Default() Pool { return Pool{} }
 
 // Workers reports the width this pool runs at: the pinned width if set,
-// else the SetWorkers override, else runtime.GOMAXPROCS(0).
+// else runtime.GOMAXPROCS(0).
 func (p Pool) Workers() int {
 	if p.workers > 0 {
 		return p.workers
 	}
-	if n := workerOverride.Load(); n > 0 {
-		return int(n)
-	}
 	return runtime.GOMAXPROCS(0)
 }
 
-// Workers reports the width of the default pool — the SetWorkers override
-// if one is set, else runtime.GOMAXPROCS(0).
+// Workers reports the width of the default pool: runtime.GOMAXPROCS(0).
 func Workers() int { return Pool{}.Workers() }
-
-// SetWorkers overrides the width that default (zero-valued) pools resolve
-// to (n <= 0 restores the GOMAXPROCS default) and returns a function
-// restoring the previous setting. It is a thin compatibility shim over the
-// default pool for code outside the run pipeline; internal callers pass
-// explicit Pool values instead, so one caller's override can never leak
-// into another's run.
-func SetWorkers(n int) (restore func()) {
-	prev := workerOverride.Load()
-	if n < 0 {
-		n = 0
-	}
-	workerOverride.Store(int64(n))
-	return func() { workerOverride.Store(prev) }
-}
 
 // ForEach runs fn(0), …, fn(n-1) across the pool and blocks until every
 // scheduled call returns.

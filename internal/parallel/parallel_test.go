@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -105,24 +106,21 @@ func TestZeroAndNegativeN(t *testing.T) {
 	}
 }
 
-// TestSetWorkersShim pins the compatibility shim: SetWorkers moves only the
-// width that default (zero-valued) pools resolve to, and never a pinned
-// pool's.
-func TestSetWorkersShim(t *testing.T) {
-	base := Workers()
-	restore := SetWorkers(3)
-	if Workers() != 3 {
-		t.Fatalf("Workers() = %d want 3", Workers())
-	}
-	if (Pool{}).Workers() != 3 {
-		t.Fatalf("default pool width = %d want 3", (Pool{}).Workers())
-	}
+// TestPoolWidths pins the width-resolution rules: a pinned pool reports its
+// own width, and default (zero-valued) pools resolve to GOMAXPROCS.
+func TestPoolWidths(t *testing.T) {
 	if NewPool(5).Workers() != 5 {
-		t.Fatalf("pinned pool tracked the global override")
+		t.Fatalf("pinned pool width = %d want 5", NewPool(5).Workers())
 	}
-	restore()
-	if Workers() != base {
-		t.Fatalf("Workers() = %d want restored %d", Workers(), base)
+	want := runtime.GOMAXPROCS(0)
+	if (Pool{}).Workers() != want {
+		t.Fatalf("default pool width = %d want GOMAXPROCS %d", (Pool{}).Workers(), want)
+	}
+	if Workers() != want {
+		t.Fatalf("Workers() = %d want GOMAXPROCS %d", Workers(), want)
+	}
+	if NewPool(0).Workers() != want || NewPool(-1).Workers() != want {
+		t.Fatalf("n <= 0 must resolve to the default width")
 	}
 }
 

@@ -1,0 +1,47 @@
+package platform
+
+import "sisyphus/internal/probe"
+
+// Fork returns a deep copy of the store: every measurement is cloned and
+// the dedup/coverage indexes are rebuilt as independent maps, so analyses
+// may slice, extend, or otherwise mutate the copy without perturbing the
+// frozen original the artifact cache holds. Insertion order — which fixes
+// All()'s iteration order and therefore downstream determinism — is
+// preserved exactly.
+func (s *Store) Fork() *Store {
+	out := &Store{
+		ms:   make([]*probe.Measurement, len(s.ms)),
+		seen: make(map[int]bool, len(s.seen)),
+		cov:  make(map[probe.Intent]*StreamCoverage, len(s.cov)),
+	}
+	for i, m := range s.ms {
+		out.ms[i] = m.Clone()
+	}
+	for id := range s.seen {
+		out.seen[id] = true
+	}
+	for in, c := range s.cov {
+		cc := *c
+		out.cov[in] = &cc
+	}
+	return out
+}
+
+// SizeBytes estimates the store's resident size for the artifact store's
+// byte bound: a flat per-measurement cost plus the variable-length hop and
+// path payloads. It is an estimate, not an accounting — the LRU only needs
+// relative magnitudes.
+func (s *Store) SizeBytes() int64 {
+	// Rough fixed footprint of one Measurement struct plus slice headers
+	// and map entries in the indexes.
+	const perMeasurement = 240
+	const perHop = 48
+	const perPathEntry = 4
+	var n int64
+	for _, m := range s.ms {
+		n += perMeasurement
+		n += int64(len(m.Hops)) * perHop
+		n += int64(len(m.ASPath)) * perPathEntry
+	}
+	return n
+}

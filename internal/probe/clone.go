@@ -1,0 +1,14 @@
+package probe
+
+import "sisyphus/internal/netsim/topo"
+
+// Clone returns a deep copy of the measurement: the struct is copied and
+// the Hops and ASPath slices are duplicated, so the copy shares no mutable
+// state with the original. Used by the artifact layer's copy-on-read rule
+// when forking a cached measurement campaign.
+func (m *Measurement) Clone() *Measurement {
+	c := *m
+	c.Hops = append([]HopRecord(nil), m.Hops...)
+	c.ASPath = append([]topo.ASN(nil), m.ASPath...)
+	return &c
+}
