@@ -10,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify verify-cache-off bench bench-stages
+.PHONY: build test vet race verify verify-cache-off bench bench-stages bench-forks
 
 build:
 	$(GO) build ./...
@@ -49,3 +49,14 @@ TRACE ?= trace.jsonl
 bench-stages:
 	$(GO) run ./cmd/sisyphus -all -seed 42 -trace $(TRACE) > /dev/null
 	$(GO) run ./cmd/benchjson -merge $(TRACE) -out BENCH_sisyphus.json
+
+# The fork-benchmark regression gate: rerun just the copy-on-write fork
+# benchmarks and compare ns/op against the committed BENCH_sisyphus.json.
+# A cache hit's cost IS the fork cost, so a regression here silently taxes
+# every cached experiment. benchjson -compare exits 1 when any benchmark
+# slows by more than the threshold; added/removed benchmarks never fail.
+FORK_THRESHOLD ?= 0.50
+bench-forks:
+	$(GO) test -run='^$$' -bench='^BenchmarkFork' -benchtime=1000x -timeout 10m . \
+		| $(GO) run ./cmd/benchjson -out BENCH_forks_new.json
+	$(GO) run ./cmd/benchjson -compare -threshold $(FORK_THRESHOLD) BENCH_sisyphus.json BENCH_forks_new.json

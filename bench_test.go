@@ -15,8 +15,11 @@ import (
 	"sisyphus/internal/experiments"
 	"sisyphus/internal/mathx"
 	"sisyphus/internal/netsim/bgp"
+	"sisyphus/internal/netsim/scenario"
 	"sisyphus/internal/netsim/topo"
 	"sisyphus/internal/parallel"
+	"sisyphus/internal/platform"
+	"sisyphus/internal/probe"
 )
 
 // BenchmarkTable1IXPStudy regenerates Table 1: the six-week NAPAfrica case
@@ -134,7 +137,139 @@ func BenchmarkAllSuite(b *testing.B) {
 			run(b, artifact.NewStore())
 		}
 	})
+	// The pure hit path: one store warmed by a first run, every iteration
+	// served entirely from resident artifacts through copy-on-write forks.
+	// This is the serving-mode number the fork benchmarks below decompose.
+	b.Run("cached-warm", func(b *testing.B) {
+		store := artifact.NewStore()
+		run(b, store)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, store)
+		}
+	})
 }
+
+// --- Fork benchmarks: the copy-on-write cache-hit primitives ---
+//
+// Each benchmark contrasts the frozen (copy-on-write, what every cache hit
+// pays) and mutable (eager deep copy, the pre-CoW cost) fork of the same
+// artifact. BENCH_sisyphus.json records both, and make bench-forks gates on
+// the cow variants regressing.
+
+// BenchmarkForkWorld forks the Table 1 scenario world.
+func BenchmarkForkWorld(b *testing.B) {
+	build := func(b *testing.B) *scenario.SouthAfrica {
+		b.Helper()
+		s, err := scenario.Build(scenario.SouthAfricaID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	frozen := build(b)
+	frozen.Freeze()
+	mutable := build(b)
+	b.Run("cow", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchWorldSink = frozen.Fork()
+		}
+	})
+	b.Run("deep", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchWorldSink = mutable.Fork()
+		}
+	})
+}
+
+// BenchmarkForkRIB forks the converged empty-policy RIB of the Table 1
+// world, rebound onto a fresh topology clone (exactly the artifact store's
+// fork recipe).
+func BenchmarkForkRIB(b *testing.B) {
+	build := func(b *testing.B) (*topo.Topology, *bgp.RIB) {
+		b.Helper()
+		s, err := scenario.Build(scenario.SouthAfricaID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rib, err := bgp.Compute(context.Background(), parallel.Pool{}, s.Topo, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s.Topo, rib
+	}
+	ftp, frozen := build(b)
+	ftp.Freeze()
+	frozen.Freeze()
+	fworld := ftp.Clone()
+	mtp, mutable := build(b)
+	mworld := mtp.Clone()
+	b.Run("cow", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchRIBSink = frozen.Fork(fworld)
+		}
+	})
+	b.Run("deep", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchRIBSink = mutable.Fork(mworld)
+		}
+	})
+}
+
+// BenchmarkForkCampaign forks a campaign-shaped artifact: the world plus a
+// measurement store of campaign scale (one simulated record per ~20 minutes
+// over six weeks, the Table 1 volume).
+func BenchmarkForkCampaign(b *testing.B) {
+	build := func(b *testing.B) (*scenario.SouthAfrica, *platform.Store) {
+		b.Helper()
+		s, err := scenario.Build(scenario.SouthAfricaID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := platform.NewStore()
+		for i := 0; i < 3000; i++ {
+			m := &probe.Measurement{
+				ID: i + 1, Intent: probe.IntentBaseline, Hour: float64(i) / 3,
+				SrcASN: 3741, SrcCity: "Johannesburg", DstASN: 300,
+				RTTms: 180, ThroughputMbps: 40,
+				Hops: make([]probe.HopRecord, 6),
+			}
+			if err := st.Add(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return s, st
+	}
+	fw, fs := build(b)
+	fw.Freeze()
+	fs.Freeze()
+	mw, ms := build(b)
+	b.Run("cow", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchWorldSink = fw.Fork()
+			benchStoreSink = fs.Fork()
+		}
+	})
+	b.Run("deep", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchWorldSink = mw.Fork()
+			benchStoreSink = ms.Fork()
+		}
+	})
+}
+
+// Package-level sinks keep the compiler from eliding the forks.
+var (
+	benchWorldSink *scenario.SouthAfrica
+	benchRIBSink   *bgp.RIB
+	benchStoreSink *platform.Store
+)
 
 // --- Ablations (DESIGN.md "design choices called out for ablation") ---
 

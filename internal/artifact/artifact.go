@@ -78,8 +78,10 @@ func NewKey(kind, scenarioID string, seed uint64, cfg any) (Key, error) {
 	return k, nil
 }
 
-// String renders the key compactly for metrics and logs:
-// kind/scenario/seedN/hash-prefix.
+// String renders the key compactly for logs and human-facing summaries:
+// kind/scenario/seedN/hash-prefix. The hash is truncated to 12 chars for
+// readability — use ID (or the Key value itself) wherever distinctness
+// matters, since two configs can share a hash prefix.
 func (k Key) String() string {
 	h := k.ConfigHash
 	if len(h) > 12 {
@@ -88,15 +90,30 @@ func (k Key) String() string {
 	return fmt.Sprintf("%s/%s/seed%d/%s", k.Kind, k.Scenario, k.Seed, h)
 }
 
+// ID renders the key with the full config hash — collision-free by
+// construction, so it is the form used for metric labels and any other
+// machine-facing identity. String truncates only at render time.
+func (k Key) ID() string {
+	return fmt.Sprintf("%s/%s/seed%d/%s", k.Kind, k.Scenario, k.Seed, k.ConfigHash)
+}
+
 // Spec tells GetOrBuild how to construct, copy, and size one artifact type.
 type Spec[T any] struct {
 	// Build constructs the artifact from scratch. It must be a pure
 	// function of the key's coordinates: equal keys must build equal values.
 	Build func(ctx context.Context) (T, error)
-	// Fork returns a deep copy sharing no mutable state with its argument.
-	// Every GetOrBuild return value passes through Fork, so callers own
-	// what they get. Required when the store is non-nil.
+	// Fork returns an independent copy sharing no *mutable* state with its
+	// argument. Every GetOrBuild return value passes through Fork, so
+	// callers own what they get. With a Freeze hook the stored original is
+	// immutable, so Fork may be a pointer-cheap copy-on-write view rather
+	// than a deep copy. Required when the store is non-nil.
 	Fork func(T) T
+	// Freeze, if non-nil, runs exactly once on the freshly built value —
+	// after a successful Build, before the value is stored or any Fork is
+	// taken — marking it immutable so forks can share structure safely.
+	// The nil-store path never freezes: cache-off callers own a fully
+	// mutable value, exactly as before the cache existed.
+	Freeze func(T)
 	// Size estimates the artifact's resident bytes for the LRU byte bound.
 	// Nil counts the entry as zero bytes (the entry bound still applies).
 	Size func(T) int64
@@ -131,7 +148,7 @@ type Stats struct {
 	Bytes   int64
 }
 
-// KeyStats is the per-key slice of the counters, keyed by Key.String().
+// KeyStats is the per-key slice of the counters.
 type KeyStats struct {
 	Hits, Misses, Builds int64
 }
@@ -146,7 +163,7 @@ type Store struct {
 	maxBytes   int64
 	bytes      int64
 	stats      Stats
-	perKey     map[string]*KeyStats
+	perKey     map[Key]*KeyStats
 }
 
 // Option tweaks a Store at construction.
@@ -164,7 +181,7 @@ func NewStore(opts ...Option) *Store {
 		entries:    make(map[Key]*entry),
 		maxEntries: 64,
 		maxBytes:   1 << 30,
-		perKey:     make(map[string]*KeyStats),
+		perKey:     make(map[Key]*KeyStats),
 	}
 	for _, o := range opts {
 		o(s)
@@ -185,15 +202,17 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
-// PerKey returns a snapshot of per-key counters keyed by Key.String(),
-// letting tests assert the exactly-once build property per coordinate.
-func (s *Store) PerKey() map[string]KeyStats {
+// PerKey returns a snapshot of per-key counters keyed by the full Key
+// value, letting tests assert the exactly-once build property per
+// coordinate. Keying by the comparable Key — not a rendered string — means
+// two configs whose hashes share a prefix can never fold onto one slot.
+func (s *Store) PerKey() map[Key]KeyStats {
 	if s == nil {
 		return nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make(map[string]KeyStats, len(s.perKey))
+	out := make(map[Key]KeyStats, len(s.perKey))
 	for k, v := range s.perKey {
 		out[k] = *v
 	}
@@ -202,11 +221,10 @@ func (s *Store) PerKey() map[string]KeyStats {
 
 // keyStatsLocked returns the per-key counter slot, creating it if needed.
 func (s *Store) keyStatsLocked(k Key) *KeyStats {
-	id := k.String()
-	ks := s.perKey[id]
+	ks := s.perKey[k]
 	if ks == nil {
 		ks = &KeyStats{}
-		s.perKey[id] = ks
+		s.perKey[k] = ks
 	}
 	return ks
 }
@@ -267,7 +285,7 @@ func GetOrBuild[T any](ctx context.Context, s *Store, key Key, spec Spec[T]) (T,
 		s.keyStatsLocked(key).Hits++
 		s.mu.Unlock()
 		obs.Add(ctx, "cache.hits", 1)
-		obs.Add(ctx, "cache.hit."+key.String(), 1)
+		obs.Add(ctx, "cache.hit."+key.ID(), 1)
 		select {
 		case <-e.ready:
 		case <-ctx.Done():
@@ -291,23 +309,33 @@ func GetOrBuild[T any](ctx context.Context, s *Store, key Key, spec Spec[T]) (T,
 	ks.Builds++
 	s.mu.Unlock()
 	obs.Add(ctx, "cache.misses", 1)
-	obs.Add(ctx, "cache.miss."+key.String(), 1)
+	obs.Add(ctx, "cache.miss."+key.ID(), 1)
 
 	start := time.Now()
 	val, err := spec.Build(ctx)
 	buildMs := time.Since(start).Milliseconds()
-	obs.Add(ctx, "cache.build_ms."+key.String(), buildMs)
 
-	s.mu.Lock()
 	if err != nil {
 		// Errors are never cached: remove the entry so the next request
-		// retries, then release every waiter with the error.
+		// retries, then release every waiter with the error. The failed
+		// attempt's duration is labeled separately — folding it into
+		// build_ms would pollute the successful-build timing series.
+		obs.Add(ctx, "cache.build_errors."+key.ID(), 1)
+		s.mu.Lock()
 		delete(s.entries, key)
 		e.err = err
 		close(e.ready)
 		s.mu.Unlock()
 		return zero, err
 	}
+	obs.Add(ctx, "cache.build_ms."+key.ID(), buildMs)
+	if spec.Freeze != nil {
+		// Freeze before the value is stored or any fork escapes: every
+		// Fork — including the builder's own return value below — sees an
+		// immutable original and may share structure with it.
+		spec.Freeze(val)
+	}
+	s.mu.Lock()
 	e.val = val
 	if spec.Size != nil {
 		e.size = spec.Size(val)

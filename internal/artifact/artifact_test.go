@@ -143,7 +143,7 @@ func TestGetOrBuildBuildsOnce(t *testing.T) {
 	if st.Misses != 1 || st.Hits != 4 || st.Builds != 1 || st.Entries != 1 || st.Bytes != 24 {
 		t.Fatalf("stats = %+v", st)
 	}
-	pk := s.PerKey()[key.String()]
+	pk := s.PerKey()[key]
 	if pk.Builds != 1 || pk.Misses != 1 || pk.Hits != 4 {
 		t.Fatalf("per-key stats = %+v", pk)
 	}

@@ -13,6 +13,7 @@ import (
 	"sisyphus/internal/netsim/scenario"
 	"sisyphus/internal/obs"
 	"sisyphus/internal/parallel"
+	"sisyphus/internal/probe"
 )
 
 // cachedRun is one full cached suite run plus its instrumentation.
@@ -187,9 +188,10 @@ func TestFetchWorldMutationSafety(t *testing.T) {
 	if _, err := s1.Topo.JoinIXP(s1.IXPName, origTreated); err != nil {
 		t.Fatal(err)
 	}
-	// Mutate the RIB through a looked-up route (Lookup returns interior
-	// pointers in the pre-fork representation; a fork must own them).
-	if rt := rib1.Lookup(3741, scenario.BigContent); rt != nil && len(rt.Path) > 0 {
+	// Mutate the RIB through the sanctioned write path. MutableLookup is
+	// the copy-on-write promotion point: the fork's table for this
+	// destination goes private, the stored original must stay converged.
+	if rt := rib1.MutableLookup(3741, scenario.BigContent); rt != nil && len(rt.Path) > 0 {
 		rt.Path[0] = 65003
 		rt.LocalPref = -1
 	}
@@ -249,10 +251,15 @@ func TestFetchCampaignMutationSafety(t *testing.T) {
 	origRTT := m.RTTms
 	origHops := len(m.Hops)
 
-	// Maul the fetched copies.
-	m.RTTms = -999
-	m.Hops = m.Hops[:0]
+	// Maul the fetched copies through the supported mutators. Measurement
+	// interiors are immutable after ingestion (the copy-on-write fork
+	// shares them with the store), so the store-side mutation is an Add —
+	// which must reallocate, never scribble into the shared backing array.
+	if err := ms1.Add(&probe.Measurement{ID: 1 << 30, Intent: probe.IntentBaseline, Hour: 1}); err != nil {
+		t.Fatal(err)
+	}
 	s1.TreatedASNs[0] = 65000
+	s1.Topo.SetLinkUp(s1.Topo.Links()[0].ID, false)
 
 	s2, ms2, err := fetchCampaign(ctx, pool, scenario.SouthAfricaID, 42, p)
 	if err != nil {
@@ -268,13 +275,80 @@ func TestFetchCampaignMutationSafety(t *testing.T) {
 	if m2.RTTms != origRTT || len(m2.Hops) != origHops {
 		t.Fatalf("measurement mutation leaked into the store: rtt=%v hops=%d", m2.RTTms, len(m2.Hops))
 	}
+	if got := ms2.All()[ms2.Len()-1].ID; got == 1<<30 {
+		t.Fatal("fork's Add leaked into the store")
+	}
 	if s2.TreatedASNs[0] == 65000 {
 		t.Fatal("world mutation leaked into the store")
 	}
+	if !s2.Topo.Links()[0].Up {
+		t.Fatal("fork's link-down leaked into the store")
+	}
 	// Exactly one campaign simulation happened.
 	for key, ks := range store.PerKey() {
-		if strings.HasPrefix(key, kindCampaign+"/") && ks.Builds != 1 {
+		if key.Kind == kindCampaign && ks.Builds != 1 {
 			t.Errorf("%s built %d times, want 1", key, ks.Builds)
 		}
+	}
+}
+
+// TestFlapScheduleClosedForm is the regression test for the flap-drift bug:
+// the schedule accumulated h += period per flap, compounding one rounding
+// error per step when the period is not exactly representable. The schedule
+// must equal the closed form 100 + i*period at every index.
+func TestFlapScheduleClosedForm(t *testing.T) {
+	const period = 0.1 // not representable in binary: accumulation drifts
+	const total = 250.0
+	hs := flapHours(total, period)
+	if len(hs) == 0 {
+		t.Fatal("empty flap schedule")
+	}
+	acc, drifted := 100.0, false
+	for i, h := range hs {
+		if want := 100 + float64(i)*period; h != want {
+			t.Fatalf("flap %d at hour %v, want closed-form %v", i, h, want)
+		}
+		if h >= total {
+			t.Fatalf("flap %d at hour %v past the horizon %v", i, h, total)
+		}
+		if acc != h {
+			drifted = true
+		}
+		acc += period
+	}
+	// The accumulated schedule genuinely diverges over this horizon — the
+	// bug was observable, not theoretical.
+	if !drifted {
+		t.Fatal("accumulated schedule never drifted; pick a period that exposes the bug")
+	}
+	// And the representable production value (72h) is unaffected either
+	// way, which is why the pinned goldens cannot move.
+	for i, h := range flapHours(24*7*4, 72) {
+		if want := 100 + float64(i)*72; h != want {
+			t.Fatalf("72h flap %d at %v, want %v", i, h, want)
+		}
+	}
+	if flapHours(total, 0) != nil || flapHours(total, -1) != nil {
+		t.Fatal("non-positive period must schedule nothing")
+	}
+}
+
+// TestCachedSuiteResidencyCountsAllKinds pins the LRU undercount fix: every
+// artifact kind now reports a nonzero size, so the store's byte accounting
+// reflects worlds and RIBs, not just campaign measurement stores.
+func TestCachedSuiteResidencyCountsAllKinds(t *testing.T) {
+	store := artifact.NewStore()
+	ctx := artifact.With(context.Background(), store)
+	if _, _, err := fetchWorld(ctx, parallel.Pool{}, scenario.SouthAfricaID); err != nil {
+		t.Fatal(err)
+	}
+	st := store.Stats()
+	if st.Entries != 2 {
+		t.Fatalf("entries = %d, want world + rib", st.Entries)
+	}
+	// Both the world and the RIB must contribute bytes: before the fix
+	// their specs passed no Size and the LRU bound saw zero for either.
+	if st.Bytes < 2048 {
+		t.Fatalf("resident bytes = %d: world/rib sizes missing from the byte bound", st.Bytes)
 	}
 }

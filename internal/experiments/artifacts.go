@@ -43,8 +43,10 @@ func fetchWorld(ctx context.Context, pool parallel.Pool, id string) (*scenario.S
 		return nil, nil, err
 	}
 	s, err := artifact.GetOrBuild(ctx, st, wkey, artifact.Spec[*scenario.SouthAfrica]{
-		Build: func(ctx context.Context) (*scenario.SouthAfrica, error) { return scenario.Build(id) },
-		Fork:  (*scenario.SouthAfrica).Fork,
+		Build:  func(ctx context.Context) (*scenario.SouthAfrica, error) { return scenario.Build(id) },
+		Fork:   (*scenario.SouthAfrica).Fork,
+		Freeze: (*scenario.SouthAfrica).Freeze,
+		Size:   (*scenario.SouthAfrica).SizeBytes,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -64,8 +66,13 @@ func fetchWorld(ctx context.Context, pool parallel.Pool, id string) (*scenario.S
 			}
 			return bgp.Compute(ctx, pool, w.Topo, nil)
 		},
-		// Rebind each fork onto the caller's own world fork.
-		Fork: func(r *bgp.RIB) *bgp.RIB { return r.Fork(s.Topo) },
+		// Rebind each fork onto the caller's own world fork. The stored
+		// original is frozen, so this is a copy-on-write view: per-dest
+		// route tables stay shared until a fork writes through
+		// MutableLookup.
+		Fork:   func(r *bgp.RIB) *bgp.RIB { return r.Fork(s.Topo) },
+		Freeze: (*bgp.RIB).Freeze,
+		Size:   (*bgp.RIB).SizeBytes,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -112,6 +119,27 @@ func campaignParamsFrom(cfg Table1Config, join bool) campaignParams {
 	return p
 }
 
+// flapHours returns the link-flap schedule: flap i goes down at the
+// closed-form hour 100 + i*period, up 6 hours later, for every flap before
+// totalHours. The closed form matters: the accumulating alternative
+// (h += period) compounds one float rounding error per flap, so flap i's
+// hour drifts from what an equivalent schedule computed elsewhere gets for
+// the same i — and schedule identity is what lets two campaigns that agree
+// on a key agree on their bytes. A non-positive period schedules nothing.
+func flapHours(totalHours, period float64) []float64 {
+	if period <= 0 {
+		return nil
+	}
+	var hs []float64
+	for i := 0; ; i++ {
+		h := 100 + float64(i)*period
+		if h >= totalHours {
+			return hs
+		}
+		hs = append(hs, h)
+	}
+}
+
 // campaign is the campaign artifact: the post-simulation world (IXP joins
 // and flaps applied) and the store of every measurement the platform
 // ingested.
@@ -152,11 +180,9 @@ func runCampaign(ctx context.Context, pool parallel.Pool, id string, seed uint64
 			e.Schedule(engine.EvJoinIXP(joinHour, s.IXPName, asn, 0.02))
 		}
 	}
-	if p.FlapEveryHours > 0 {
-		for h := 100.0; h < totalHours; h += p.FlapEveryHours {
-			e.Schedule(engine.EvLinkDown(h, p.FlapLink))
-			e.Schedule(engine.EvLinkUp(h+6, p.FlapLink))
-		}
+	for _, h := range flapHours(totalHours, p.FlapEveryHours) {
+		e.Schedule(engine.EvLinkDown(h, p.FlapLink))
+		e.Schedule(engine.EvLinkUp(h+6, p.FlapLink))
 	}
 	var pops []platform.UserPop
 	for _, u := range s.AllUnits() {
@@ -233,7 +259,14 @@ func fetchCampaign(ctx context.Context, pool parallel.Pool, id string, seed uint
 		Fork: func(c campaign) campaign {
 			return campaign{world: c.world.Fork(), store: c.store.Fork()}
 		},
-		Size: func(c campaign) int64 { return c.store.SizeBytes() },
+		Freeze: func(c campaign) {
+			c.world.Freeze()
+			c.store.Freeze()
+		},
+		// The campaign's residency is the measurement store (with its
+		// indexes) plus the post-simulation world riding along with it —
+		// the old store-only size undercounted what the LRU actually held.
+		Size: func(c campaign) int64 { return c.store.SizeBytes() + c.world.SizeBytes() },
 	})
 	if err != nil {
 		return nil, nil, err

@@ -108,16 +108,40 @@ func (p *Policy) Clone() *Policy {
 
 // RIB is the converged set of routing tables: for every destination AS, the
 // best route at every AS that can reach it.
+//
+// Per-destination tables are immutable once converged: Compute and
+// RecomputeAfterLinkFailure always build fresh tables, never write old ones
+// in place. That invariant is what lets Fork on a frozen RIB copy only the
+// outer destination map (O(destinations) pointers) while sharing every
+// table and route with the frozen original, and lets incremental
+// recomputation share every unaffected table. The one sanctioned way to
+// edit routes in place is MutableLookup, which promotes the destination's
+// table to a private copy first — per-destination copy-on-write.
 type RIB struct {
 	Topo *topo.Topology
 	Rel  *topo.ASRelationships
-	// best[dest][as] is as's chosen route to dest.
+	// best[dest][as] is as's chosen route to dest. The outer map is always
+	// owned by this RIB; inner tables may be shared with other RIBs.
 	best map[topo.ASN]map[topo.ASN]*Route
+	// promoted marks destinations whose inner table (and routes) are
+	// private to this RIB because MutableLookup copied them.
+	promoted map[topo.ASN]bool
+	// frozen marks the immutable original the artifact store holds: Fork
+	// becomes pointer-cheap and MutableLookup panics.
+	frozen bool
 	// policy used (for data-plane link filtering).
 	policy *Policy
 	// pool computed this RIB and is reused by incremental recomputation.
 	pool parallel.Pool
 }
+
+// Freeze marks the RIB immutable: MutableLookup panics on it, and Fork
+// switches from deep copies to pointer-cheap table sharing. The artifact
+// store freezes each converged RIB once, before any fork escapes.
+func (r *RIB) Freeze() { r.frozen = true }
+
+// Frozen reports whether Freeze was called.
+func (r *RIB) Frozen() bool { return r.frozen }
 
 // Lookup returns a's route to dest, or nil if unreachable.
 func (r *RIB) Lookup(a, dest topo.ASN) *Route {

@@ -214,7 +214,7 @@ func TestLinkDownRecompute(t *testing.T) {
 	tp := trombone(t)
 	rel, _ := tp.Relationships()
 	id := rel.Links[200][100][0]
-	tp.Link(id).Up = false
+	tp.SetLinkUp(id, false)
 	rib, err := Compute(context.Background(), parallel.Pool{}, tp, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -222,7 +222,7 @@ func TestLinkDownRecompute(t *testing.T) {
 	if r := rib.Lookup(3741, 300); r != nil {
 		t.Fatalf("route survived dead link: %+v", r)
 	}
-	tp.Link(id).Up = true
+	tp.SetLinkUp(id, true)
 	rib2, _ := Compute(context.Background(), parallel.Pool{}, tp, nil)
 	if rib2.Lookup(3741, 300) == nil {
 		t.Fatal("route did not return after link restore")

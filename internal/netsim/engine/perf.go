@@ -120,7 +120,7 @@ func EvLinkDown(atHour float64, id topo.LinkID) Event {
 		AtHour: atHour,
 		Name:   fmt.Sprintf("link-down %d", id),
 		Apply: func(e *Engine) error {
-			e.Topo.Link(id).Up = false
+			e.Topo.SetLinkUp(id, false)
 			return nil
 		},
 	}
@@ -132,7 +132,7 @@ func EvLinkUp(atHour float64, id topo.LinkID) Event {
 		AtHour: atHour,
 		Name:   fmt.Sprintf("link-up %d", id),
 		Apply: func(e *Engine) error {
-			e.Topo.Link(id).Up = true
+			e.Topo.SetLinkUp(id, true)
 			return nil
 		},
 	}

@@ -33,8 +33,32 @@ func Build(id string) (*SouthAfrica, error) {
 // IDs lists the registered scenario ids.
 func IDs() []string { return []string{SouthAfricaID, TromboneEraID} }
 
-// Fork returns a deep copy of the scenario: the topology is cloned (so IXP
-// joins and link flaps stay private to the copy) and every slice is copied.
+// Freeze marks the scenario immutable: the underlying topology freezes, so
+// subsequent Forks get copy-on-write clones that share the whole structure
+// until their first mutation. The artifact store calls this once after a
+// successful build, before any fork is handed out.
+func (s *SouthAfrica) Freeze() { s.Topo.Freeze() }
+
+// Frozen reports whether Freeze has been called.
+func (s *SouthAfrica) Frozen() bool { return s.Topo.Frozen() }
+
+// SizeBytes estimates the scenario's resident size for the artifact store's
+// byte bound: the topology dominates; the casting lists ride on a small flat
+// per-entry cost. An estimate, not an accounting — the LRU only needs
+// relative magnitudes.
+func (s *SouthAfrica) SizeBytes() int64 {
+	const perUnit = 40 // Unit struct + slice slot
+	const perASN = 8
+	n := s.Topo.SizeBytes()
+	n += int64(len(s.Treated)+len(s.Donors)) * perUnit
+	n += int64(len(s.ContentASNs)+len(s.TreatedASNs)+len(s.MLabServerASNs)) * perASN
+	return n
+}
+
+// Fork returns an independent copy of the scenario: the topology is cloned
+// (so IXP joins and link flaps stay private to the copy) and every slice is
+// copied. On a frozen scenario the topology clone is pointer-cheap —
+// copy-on-write — so the fork costs only the small casting slices.
 // Required by the artifact store's copy-on-read rule.
 func (s *SouthAfrica) Fork() *SouthAfrica {
 	out := &SouthAfrica{

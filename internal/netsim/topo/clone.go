@@ -1,29 +1,42 @@
 package topo
 
-// Clone returns a deep copy of the topology: a caller may join IXPs, flap
-// links, or otherwise mutate the copy without perturbing the original. The
-// geo Registry is shared — it is read-only after construction — but every
-// mutable structure (AS records, PoPs, links, adjacency, IXP membership) is
-// copied. This is the primitive that lets the artifact store hand out
-// independent worlds from one frozen build.
+// Clone returns an independent copy of the topology: a caller may join
+// IXPs, flap links, or otherwise mutate the copy without perturbing the
+// original.
+//
+// On a frozen topology (the artifact store's case) this is pointer-cheap:
+// the clone shares every structure with the frozen original and copies the
+// mutable overlay lazily, on its first mutation. An unmutated clone
+// therefore costs one struct allocation, which is what makes artifact
+// cache hits nearly free.
+//
+// On a mutable topology it falls back to the eager deep copy: the original
+// may still change, so sharing would not be safe.
 func (t *Topology) Clone() *Topology {
+	if t.frozen {
+		return &Topology{
+			Registry:     t.Registry,
+			ases:         t.ases,
+			asOrder:      t.asOrder,
+			pops:         t.pops,
+			popIndex:     t.popIndex,
+			links:        t.links,
+			adj:          t.adj,
+			ixps:         t.ixps,
+			ixpMemberIdx: t.ixpMemberIdx,
+			cow:          true,
+		}
+	}
 	out := &Topology{
 		Registry:     t.Registry,
-		ases:         make(map[ASN]*AS, len(t.ases)),
-		asOrder:      append([]ASN(nil), t.asOrder...),
-		pops:         append([]PoP(nil), t.pops...),
-		popIndex:     make(map[popKey]PoPID, len(t.popIndex)),
+		ases:         t.ases,    // immutable core: shared even on deep copies
+		asOrder:      t.asOrder, // (nothing writes these after Build)
+		pops:         t.pops,
+		popIndex:     t.popIndex,
 		links:        make([]*Link, len(t.links)),
 		adj:          make(map[PoPID][]LinkID, len(t.adj)),
 		ixps:         make(map[string]*IXP, len(t.ixps)),
 		ixpMemberIdx: make(map[string]map[ASN]int, len(t.ixpMemberIdx)),
-	}
-	for asn, a := range t.ases {
-		c := *a
-		out.ases[asn] = &c
-	}
-	for k, v := range t.popIndex {
-		out.popIndex[k] = v
 	}
 	for i, l := range t.links {
 		c := *l

@@ -1,0 +1,8 @@
+//go:build race
+
+package platform
+
+// raceEnabled reports whether the race detector is compiled in. The frozen
+// store's interior-mutation fingerprint is only maintained under race builds
+// — the debug configuration — so the hot path stays free of hashing.
+const raceEnabled = true
