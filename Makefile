@@ -10,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify verify-cache-off bench bench-stages bench-forks
+.PHONY: build test vet race verify verify-cache-off verify-warm-cache bench bench-stages bench-forks
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,27 @@ verify: build vet race
 # switch end-to-end through the real CLI.
 verify-cache-off:
 	$(GO) run ./cmd/sisyphus -all -seed 42 -cache=off | cmp - internal/experiments/testdata/all_seed42.golden.txt
+
+# The disk-tier end-to-end gate, run through one binary (one build, so the
+# three runs share a binary fingerprint and a cache dir):
+#   run 1 (cold)    populates the dir and must match the pinned golden;
+#   run 2 (warm)    must match byte-for-byte with zero builds — everything
+#                   it renders crossed the disk tier;
+#   run 3 (corrupt) sees every cached file with a flipped byte and must
+#                   still match, counting the corruption and rebuilding.
+verify-warm-cache:
+	set -eu; dir=$$(mktemp -d /tmp/sisyphus-warm-cache.XXXXXX); \
+	trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) build -o $$dir/sisyphus ./cmd/sisyphus; \
+	$$dir/sisyphus -all -seed 42 -cache-dir $$dir/cache \
+		| cmp - internal/experiments/testdata/all_seed42.golden.txt; \
+	$$dir/sisyphus -all -seed 42 -cache-dir $$dir/cache 2>$$dir/warm.err \
+		| cmp - internal/experiments/testdata/all_seed42.golden.txt; \
+	grep -q ', 0 builds,' $$dir/warm.err; \
+	$(GO) run ./cmd/artcorrupt $$dir/cache/*.art; \
+	$$dir/sisyphus -all -seed 42 -cache-dir $$dir/cache 2>$$dir/corrupt.err \
+		| cmp - internal/experiments/testdata/all_seed42.golden.txt; \
+	grep -qE ' [1-9][0-9]* corrupt' $$dir/corrupt.err
 
 # The benchmarks backing DESIGN.md's ablation tables and CHANGES.md's
 # before/after numbers. Text output streams as usual; a machine-readable

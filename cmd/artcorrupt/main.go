@@ -1,0 +1,53 @@
+// Command artcorrupt flips one byte in each given file — the corruption
+// injector behind `make verify-warm-cache`, which proves a cache directory
+// full of bit rot still reproduces the pinned goldens via silent rebuilds.
+//
+// Usage:
+//
+//	artcorrupt [-offset N] file...
+//
+// The byte at the (file-size-clamped) offset is XORed with 0xFF, which is
+// guaranteed to change it — a shell `dd` writing a fixed value could land on
+// a byte that already held it, silently weakening the CI gate to a no-op.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func corrupt(path string, offset int64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("%s: empty file, nothing to corrupt", path)
+	}
+	i := offset
+	if i < 0 || i >= int64(len(data)) {
+		i = int64(len(data)) / 2
+	}
+	data[i] ^= 0xFF
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, info.Mode().Perm())
+}
+
+func main() {
+	offset := flag.Int64("offset", -1, "byte offset to flip (default: middle of each file)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "artcorrupt: no files given")
+		os.Exit(2)
+	}
+	for _, path := range flag.Args() {
+		if err := corrupt(path, *offset); err != nil {
+			fmt.Fprintln(os.Stderr, "artcorrupt:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 //	sisyphus -list
 //	sisyphus -experiment table1 [-seed 42]
 //	sisyphus -all [-parallel] [-workers 8] [-timeout 5m]
+//	sisyphus -all -cache-dir ~/.cache/sisyphus
 //	sisyphus -all -trace run.jsonl -metrics [-pprof localhost:6060]
 //
 // The whole run is governed by one context: SIGINT (Ctrl-C) or an elapsed
@@ -60,6 +61,23 @@ func validateFlags(workersSet bool, workers int, parallelMode bool) error {
 func validateCacheFlag(cache string) error {
 	if cache != "on" && cache != "off" {
 		return fmt.Errorf("-cache must be \"on\" or \"off\" (got %q)", cache)
+	}
+	return nil
+}
+
+// validateCacheDirFlag rejects -cache-dir combinations that cannot mean
+// what the user intended: a persistent tier under a disabled cache is a
+// contradiction, and one attached to an invocation that runs nothing
+// (-list, or no mode) could only ever sit idle.
+func validateCacheDirFlag(cacheDir, cache string, runs bool) error {
+	if cacheDir == "" {
+		return nil
+	}
+	if cache == "off" {
+		return fmt.Errorf("-cache-dir requires the cache; drop -cache=off or -cache-dir")
+	}
+	if !runs {
+		return fmt.Errorf("-cache-dir requires a run (-all or -experiment)")
 	}
 	return nil
 }
@@ -151,6 +169,7 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "print a metrics summary after the run (a \"metrics\" JSON object with -json)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run")
 		cache     = flag.String("cache", "on", "artifact cache: \"on\" shares scenario worlds, RIBs and campaigns across experiments; \"off\" rebuilds everything (output bytes are identical either way)")
+		cacheDir  = flag.String("cache-dir", "", "persist artifacts across runs in this directory: run N+1 reuses worlds, RIBs and campaigns run N built (output bytes are identical; corrupted or stale files rebuild silently)")
 	)
 	flag.Parse()
 	workersSet := false
@@ -172,6 +191,10 @@ func main() {
 		os.Exit(2)
 	}
 	runs := *all || *exp != ""
+	if err := validateCacheDirFlag(*cacheDir, *cache, runs); err != nil {
+		fmt.Fprintln(os.Stderr, "sisyphus:", err)
+		os.Exit(2)
+	}
 	if err := validateObsFlags(*traceFile, *metrics, *pprofAddr, runs); err != nil {
 		fmt.Fprintln(os.Stderr, "sisyphus:", err)
 		os.Exit(2)
@@ -211,10 +234,24 @@ func main() {
 
 	// The artifact store is likewise a per-invocation value. With -cache=off
 	// it stays nil and every fetch inside the experiments builds fresh — the
-	// exact pre-cache code path, so output bytes cannot differ.
+	// exact pre-cache code path, so output bytes cannot differ. -cache-dir
+	// attaches the persistent tier: artifacts this run builds are reusable
+	// by the next run (and by concurrent processes sharing the directory).
 	var store *artifact.Store
 	if *cache == "on" {
-		store = artifact.NewStore()
+		var opts []artifact.Option
+		if *cacheDir != "" {
+			disk, err := artifact.OpenDisk(artifact.DiskConfig{
+				Dir:         *cacheDir,
+				Fingerprint: artifact.BinaryFingerprint(),
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sisyphus: -cache-dir:", err)
+				os.Exit(2)
+			}
+			opts = append(opts, artifact.WithDisk(disk))
+		}
+		store = artifact.NewStore(opts...)
 	}
 
 	cfg := experiments.Config{Seed: *seed, Pool: pool, Artifacts: store}

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"sisyphus/internal/obs"
 )
@@ -138,4 +140,100 @@ func allMetrics(rec *obs.Recorder) map[string]float64 {
 		}
 	}
 	return out
+}
+
+// TestCancelledBuilderDoesNotPoisonWaiters is the regression test for the
+// waiter-poisoning bug: when the in-flight builder's own context is
+// cancelled, every waiter parked on the entry used to receive that
+// context.Canceled verbatim and fail — even though the failure says nothing
+// about the key and the waiters' contexts were perfectly alive. A waiter
+// whose own context permits must re-enter the miss path (becoming the new
+// builder) and succeed.
+func TestCancelledBuilderDoesNotPoisonWaiters(t *testing.T) {
+	s := NewStore()
+	key, _ := NewKey("world", "s", 0, nil)
+	firstStarted := make(chan struct{})
+	var builds atomic.Int64
+	spec := Spec[*[]int]{
+		Build: func(ctx context.Context) (*[]int, error) {
+			if builds.Add(1) == 1 {
+				close(firstStarted)
+				<-ctx.Done() // the doomed builder: block until cancelled
+				return nil, ctx.Err()
+			}
+			v := []int{42}
+			return &v, nil
+		},
+		Fork: func(p *[]int) *[]int { v := append([]int(nil), *p...); return &v },
+		Size: func(p *[]int) int64 { return int64(8 * len(*p)) },
+	}
+
+	builderCtx, cancel := context.WithCancel(context.Background())
+	builderErr := make(chan error, 1)
+	go func() {
+		_, err := GetOrBuild(builderCtx, s, key, spec)
+		builderErr <- err
+	}()
+	<-firstStarted // the entry is in-flight; join it as a waiter
+	waiterDone := make(chan error, 1)
+	var got atomic.Int64
+	go func() {
+		v, err := GetOrBuild(context.Background(), s, key, spec)
+		if err == nil {
+			got.Store(int64((*v)[0]))
+		}
+		waiterDone <- err
+	}()
+	// Give the waiter time to park on the pending entry, then kill the
+	// builder under it.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+
+	if err := <-builderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("builder err = %v, want context.Canceled", err)
+	}
+	if err := <-waiterDone; err != nil {
+		t.Fatalf("waiter poisoned by the builder's cancellation: %v", err)
+	}
+	if got.Load() != 42 {
+		t.Fatalf("waiter value = %d, want 42", got.Load())
+	}
+	if builds.Load() != 2 {
+		t.Fatalf("builds = %d, want 2 (cancelled attempt + waiter's retry)", builds.Load())
+	}
+}
+
+// TestCancelledWaiterStillFails: the retry loop must not spin when the
+// waiter's own context is also dead — it surfaces an error instead.
+func TestCancelledWaiterStillFails(t *testing.T) {
+	s := NewStore()
+	key, _ := NewKey("world", "s", 0, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := boxSpec(nil, []int{1})
+	spec.Build = func(ctx context.Context) (*[]int, error) { return nil, ctx.Err() }
+	if _, err := GetOrBuild(ctx, s, key, spec); err == nil {
+		t.Fatal("dead-context caller must fail, not loop or succeed")
+	}
+}
+
+// TestKeysReturnFullIDs is the regression test for the Keys() truncation
+// bug: the listing rendered via String(), whose 12-char hash prefix folds
+// distinct configs onto one line. Keys must list full ID()s, sorted.
+func TestKeysReturnFullIDs(t *testing.T) {
+	ctx := context.Background()
+	s := NewStore()
+	const prefix = "bbbbbbbbbbbb" // 12 chars — String() truncates here
+	k1 := Key{Kind: "world", Scenario: "s", Seed: 1, ConfigHash: prefix + "0000"}
+	k2 := Key{Kind: "world", Scenario: "s", Seed: 1, ConfigHash: prefix + "ffff"}
+	for _, k := range []Key{k2, k1} { // insert out of order to check sorting
+		if _, err := GetOrBuild(ctx, s, k, boxSpec(nil, []int{1})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := s.Keys()
+	want := []string{k1.ID(), k2.ID()}
+	if len(keys) != 2 || keys[0] != want[0] || keys[1] != want[1] {
+		t.Fatalf("Keys() = %v, want sorted full IDs %v", keys, want)
+	}
 }

@@ -1,0 +1,184 @@
+package artifact
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// validFile builds one well-formed envelope for the tests to mutate.
+func validFile() []byte {
+	return EncodeFile("world", "world/za/seed0/abc123", "fp|v1", []byte("payload bytes here"))
+}
+
+func TestEncodeFileDeterministic(t *testing.T) {
+	a := validFile()
+	b := validFile()
+	if !bytes.Equal(a, b) {
+		t.Fatal("EncodeFile is not deterministic for equal inputs")
+	}
+}
+
+func TestDecodeFileRoundTrip(t *testing.T) {
+	cases := []struct {
+		kind, id, fp string
+		payload      []byte
+	}{
+		{"world", "world/za/seed0/aaaa", "fp|world-gob-v1", []byte("w")},
+		{"rib", "rib/za/seed0/bbbb", "fp|rib-gob-v1", bytes.Repeat([]byte{0x00, 0xFF}, 1000)},
+		{"campaign", "campaign/za/seed42/cccc", "fp|campaign-gob-v1", nil}, // empty payload is legal
+	}
+	for _, tc := range cases {
+		data := EncodeFile(tc.kind, tc.id, tc.fp, tc.payload)
+		got, err := DecodeFile(data, tc.kind, tc.id, tc.fp)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.kind, err)
+		}
+		if !bytes.Equal(got, tc.payload) {
+			t.Fatalf("%s: payload round-trip mismatch", tc.kind)
+		}
+		h, p, err := DecodeFileAny(data)
+		if err != nil {
+			t.Fatalf("%s: DecodeFileAny: %v", tc.kind, err)
+		}
+		if h.Kind != tc.kind || h.ID != tc.id || h.Fingerprint != tc.fp || !bytes.Equal(p, tc.payload) {
+			t.Fatalf("%s: DecodeFileAny header/payload mismatch: %+v", tc.kind, h)
+		}
+	}
+}
+
+// TestDecodeRejectsEveryByteFlip is the envelope's core integrity promise:
+// flipping ANY single byte of a valid file — magic, version, header length,
+// header JSON, payload, or trailer — must fail verification. The whole-file
+// trailing checksum makes this provable byte by byte.
+func TestDecodeRejectsEveryByteFlip(t *testing.T) {
+	orig := validFile()
+	for i := range orig {
+		mut := append([]byte(nil), orig...)
+		mut[i] ^= 0xFF
+		if _, err := DecodeFile(mut, "world", "world/za/seed0/abc123", "fp|v1"); err == nil {
+			t.Fatalf("flip at byte %d of %d accepted", i, len(orig))
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrStale) {
+			t.Fatalf("flip at byte %d: unclassified error %v", i, err)
+		}
+	}
+}
+
+// TestDecodeRejectsEveryTruncation: every proper prefix of a valid file must
+// be rejected (and classified as corruption, not staleness).
+func TestDecodeRejectsEveryTruncation(t *testing.T) {
+	orig := validFile()
+	for n := 0; n < len(orig); n++ {
+		if _, _, err := DecodeFileAny(orig[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: err = %v, want ErrCorrupt", n, err)
+		}
+	}
+}
+
+// reseal recomputes the whole-file trailer after a deliberate mutation, so
+// the classification tests below exercise the check they target rather than
+// tripping the checksum first.
+func reseal(data []byte) []byte {
+	body := data[:len(data)-fileTrailerLen]
+	sum := sha256.Sum256(body)
+	return append(append([]byte(nil), body...), sum[:]...)
+}
+
+func TestDecodeClassification(t *testing.T) {
+	const (
+		kind = "world"
+		id   = "world/za/seed0/abc123"
+		fp   = "fp|v1"
+	)
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		want    error
+		wantMsg string
+	}{
+		{
+			name: "version skew is stale",
+			mutate: func(d []byte) []byte {
+				binary.BigEndian.PutUint32(d[len(fileMagic):], FileFormatVersion+1)
+				return reseal(d)
+			},
+			want: ErrStale, wantMsg: "envelope format",
+		},
+		{
+			name:   "fingerprint mismatch is stale",
+			mutate: func(d []byte) []byte { return EncodeFile(kind, id, "other-fp|v9", []byte("payload")) },
+			want:   ErrStale, wantMsg: "fingerprint",
+		},
+		{
+			name:   "wrong kind is corrupt",
+			mutate: func(d []byte) []byte { return EncodeFile("rib", id, fp, []byte("payload")) },
+			want:   ErrCorrupt, wantMsg: "holds",
+		},
+		{
+			name:   "wrong id is corrupt",
+			mutate: func(d []byte) []byte { return EncodeFile(kind, "world/za/seed0/zzz", fp, []byte("payload")) },
+			want:   ErrCorrupt, wantMsg: "holds",
+		},
+		{
+			name:   "empty file is corrupt",
+			mutate: func(d []byte) []byte { return nil },
+			want:   ErrCorrupt, wantMsg: "truncated",
+		},
+		{
+			name: "bad magic is corrupt",
+			mutate: func(d []byte) []byte {
+				copy(d, "XXXX")
+				return reseal(d)
+			},
+			want: ErrCorrupt, wantMsg: "bad magic",
+		},
+		{
+			name: "oversized header length is corrupt",
+			mutate: func(d []byte) []byte {
+				binary.BigEndian.PutUint32(d[len(fileMagic)+4:], maxHeaderLen+1)
+				return reseal(d)
+			},
+			want: ErrCorrupt, wantMsg: "header length",
+		},
+		{
+			name: "header length past body is corrupt",
+			mutate: func(d []byte) []byte {
+				binary.BigEndian.PutUint32(d[len(fileMagic)+4:], uint32(len(d)))
+				return reseal(d)
+			},
+			want: ErrCorrupt, wantMsg: "header length",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mutate(EncodeFile(kind, id, fp, []byte("payload")))
+			_, err := DecodeFile(data, kind, id, fp)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("err %q does not mention %q", err, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// TestDecodeFileAnyHostileInputs: pathological non-envelope inputs must
+// error cleanly, never panic, never allocate per a hostile length field.
+func TestDecodeFileAnyHostileInputs(t *testing.T) {
+	inputs := [][]byte{
+		nil,
+		[]byte("SART"),
+		[]byte(strings.Repeat("SART", 100)),
+		bytes.Repeat([]byte{0}, filePrefixLen+fileTrailerLen),
+		bytes.Repeat([]byte{0xFF}, 4096),
+	}
+	for i, in := range inputs {
+		if _, _, err := DecodeFileAny(in); err == nil {
+			t.Fatalf("input %d: hostile bytes accepted", i)
+		}
+	}
+}

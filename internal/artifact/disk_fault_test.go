@@ -1,0 +1,301 @@
+package artifact
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDiskFaultBattery drives the tier through the disk failures the design
+// promises to survive: short writes, ENOSPC at create and at fsync, EIO
+// mid-read, bit flips in header and payload, truncation, and a crash between
+// temp-write and rename. Every scenario must end the same way — the correct
+// value served, no panic, no error surfaced to the caller, the right counter
+// bumped — and a healthy store afterwards must converge back to disk hits.
+func TestDiskFaultBattery(t *testing.T) {
+	type scenario struct {
+		name string
+		// prepopulate writes a valid artifact file before the faulted run
+		// (read-side scenarios); write-side scenarios start cold.
+		prepopulate bool
+		// arm flips a FaultFS knob for the faulted run.
+		arm func(*FaultFS)
+		// mutate damages the on-disk file directly (bit rot) instead.
+		mutate func(t *testing.T, path string)
+		// want checks the faulted store's counters.
+		want func(t *testing.T, st Stats)
+	}
+
+	wantWriteError := func(t *testing.T, st Stats) {
+		t.Helper()
+		if st.DiskWriteErrors != 1 || st.DiskWrites != 0 {
+			t.Fatalf("stats = %+v, want 1 write error and no writes", st)
+		}
+	}
+	wantCorrupt := func(t *testing.T, st Stats) {
+		t.Helper()
+		if st.DiskCorrupt != 1 || st.DiskWrites != 1 {
+			t.Fatalf("stats = %+v, want 1 corrupt + healing rewrite", st)
+		}
+	}
+	flipByte := func(offset func(n int) int) func(*testing.T, string) {
+		return func(t *testing.T, path string) {
+			t.Helper()
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[offset(len(data))] ^= 0x01
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	scenarios := []scenario{
+		{
+			name: "enospc at create",
+			arm:  func(f *FaultFS) { f.FailCreate(syscall.ENOSPC) },
+			want: wantWriteError,
+		},
+		{
+			name: "short write",
+			arm:  func(f *FaultFS) { f.FailWriteAfter(10, nil) },
+			want: wantWriteError,
+		},
+		{
+			name: "enospc at sync",
+			arm:  func(f *FaultFS) { f.FailSync(syscall.ENOSPC) },
+			want: wantWriteError,
+		},
+		{
+			name: "crash between temp write and rename",
+			arm:  func(f *FaultFS) { f.FailRename(syscall.EIO) },
+			want: wantWriteError,
+		},
+		{
+			name:        "eio mid-read",
+			prepopulate: true,
+			arm:         func(f *FaultFS) { f.FailRead(syscall.EIO) },
+			want: func(t *testing.T, st Stats) {
+				t.Helper()
+				if st.DiskReadErrors != 1 || st.DiskWrites != 1 {
+					t.Fatalf("stats = %+v, want 1 read error + healing rewrite", st)
+				}
+			},
+		},
+		{
+			name:        "bit flip in header",
+			prepopulate: true,
+			mutate:      flipByte(func(n int) int { return filePrefixLen + 2 }),
+			want:        wantCorrupt,
+		},
+		{
+			name:        "bit flip in payload",
+			prepopulate: true,
+			mutate:      flipByte(func(n int) int { return n - fileTrailerLen - 2 }),
+			want:        wantCorrupt,
+		},
+		{
+			name:        "bit flip in trailer",
+			prepopulate: true,
+			mutate:      flipByte(func(n int) int { return n - 1 }),
+			want:        wantCorrupt,
+		},
+		{
+			name:        "truncation",
+			prepopulate: true,
+			mutate: func(t *testing.T, path string) {
+				t.Helper()
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			want: wantCorrupt,
+		},
+	}
+
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			ctx := context.Background()
+			key, _ := NewKey("world", "s", 0, nil)
+			var builds atomic.Int64
+			spec := diskBoxSpec(&builds, []int{11, 22, 33})
+			check := func(phase string, v *[]int, err error) {
+				t.Helper()
+				if err != nil {
+					t.Fatalf("%s: %v (faults must degrade to silent rebuilds)", phase, err)
+				}
+				if len(*v) != 3 || (*v)[0] != 11 || (*v)[1] != 22 || (*v)[2] != 33 {
+					t.Fatalf("%s: wrong artifact served: %v", phase, *v)
+				}
+			}
+
+			healthy := testDisk(t, dir)
+			if sc.prepopulate {
+				v, err := GetOrBuild(ctx, NewStore(WithDisk(healthy)), key, spec)
+				check("prepopulate", v, err)
+				if sc.mutate != nil {
+					sc.mutate(t, healthy.path(key))
+				}
+			}
+
+			ffs := NewFaultFS(nil)
+			if sc.arm != nil {
+				sc.arm(ffs)
+			}
+			faulted := NewStore(WithDisk(testDisk(t, dir, func(c *DiskConfig) { c.FS = ffs })))
+			v, err := GetOrBuild(ctx, faulted, key, spec)
+			check("faulted run", v, err)
+			sc.want(t, faulted.Stats())
+
+			// Failed writes must leave no half-written debris under the final
+			// name and no leaked temp files.
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				if strings.HasPrefix(e.Name(), tmpPrefix) {
+					t.Fatalf("temp file leaked: %s", e.Name())
+				}
+			}
+
+			// Heal: with faults gone, one healthy run rebuilds/rewrites as
+			// needed and the run after that serves straight from disk.
+			v, err = GetOrBuild(ctx, NewStore(WithDisk(testDisk(t, dir))), key, spec)
+			check("heal run", v, err)
+			final := NewStore(WithDisk(testDisk(t, dir)))
+			v, err = GetOrBuild(ctx, final, key, spec)
+			check("final run", v, err)
+			if st := final.Stats(); st.DiskHits != 1 {
+				t.Fatalf("final stats = %+v, want a pure disk hit", st)
+			}
+			if got := builds.Load(); got != 2 {
+				t.Fatalf("builds = %d, want exactly 2 (initial + one rebuild)", got)
+			}
+		})
+	}
+}
+
+// TestDiskEncodeErrorDoesNotPersist: an Encode failure counts as a write
+// error, logs once, and the value still serves from memory.
+func TestDiskEncodeErrorDoesNotPersist(t *testing.T) {
+	dir := t.TempDir()
+	var logged atomic.Int64
+	d := testDisk(t, dir, func(c *DiskConfig) {
+		c.Log = func(format string, args ...any) { logged.Add(1) }
+	})
+	s := NewStore(WithDisk(d))
+	key, _ := NewKey("world", "s", 0, nil)
+	spec := diskBoxSpec(nil, []int{1})
+	spec.Codec.Encode = func(*[]int) ([]byte, error) { return nil, errors.New("unencodable") }
+	v, err := GetOrBuild(context.Background(), s, key, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (*v)[0] != 1 {
+		t.Fatalf("value = %v", *v)
+	}
+	if st := s.Stats(); st.DiskWriteErrors != 1 || st.DiskWrites != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if logged.Load() == 0 {
+		t.Fatal("encode failure was not logged")
+	}
+	if files := artFiles(t, dir); len(files) != 0 {
+		t.Fatalf("unencodable artifact persisted: %v", files)
+	}
+}
+
+// TestDiskLogsOncePerFailureClass: a directory full of corrupt files yields
+// counters per file but a single log line for the class.
+func TestDiskLogsOncePerFailureClass(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	var k1, k2 Key
+	k1, _ = NewKey("world", "a", 0, nil)
+	k2, _ = NewKey("world", "b", 0, nil)
+	seed := testDisk(t, dir)
+	for _, k := range []Key{k1, k2} {
+		if err := seed.save(k, "json-v1", []byte("[1]")); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(seed.path(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)-1] ^= 0xFF
+		if err := os.WriteFile(seed.path(k), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var lines atomic.Int64
+	s := NewStore(WithDisk(testDisk(t, dir, func(c *DiskConfig) {
+		c.Log = func(format string, args ...any) { lines.Add(1) }
+	})))
+	for _, k := range []Key{k1, k2} {
+		if _, err := GetOrBuild(ctx, s, k, diskBoxSpec(nil, []int{1})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.DiskCorrupt != 2 {
+		t.Fatalf("stats = %+v, want both corruptions counted", st)
+	}
+	if got := lines.Load(); got != 1 {
+		t.Fatalf("logged %d lines for one failure class, want 1", got)
+	}
+}
+
+// TestDiskCrashLeftoverTempIsInvisibleAndCollected: a true crash leaves a
+// temp file behind (simulated directly — FailRename cleans up in-process).
+// Readers never see it under a final name, and once it ages out GC removes it.
+func TestDiskCrashLeftoverTempIsInvisibleAndCollected(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	key, _ := NewKey("world", "s", 0, nil)
+	// A crashed writer's torn temp: valid-looking prefix, then nothing.
+	tmp := filepath.Join(dir, tmpPrefix+"crashed123")
+	if err := os.WriteFile(tmp, []byte("SART\x00\x00\x00\x01torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var builds atomic.Int64
+	s := NewStore(WithDisk(testDisk(t, dir)))
+	v, err := GetOrBuild(ctx, s, key, diskBoxSpec(&builds, []int{5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (*v)[0] != 5 || builds.Load() != 1 {
+		t.Fatalf("torn temp influenced a read: v=%v builds=%d", *v, builds.Load())
+	}
+	if st := s.Stats(); st.DiskCorrupt != 0 || st.DiskReadErrors != 0 {
+		t.Fatalf("temp file surfaced as a read outcome: %+v", st)
+	}
+	// Fresh temps survive GC (a live writer may own them)…
+	if _, err := os.Stat(tmp); err != nil {
+		t.Fatalf("fresh temp collected early: %v", err)
+	}
+	// …but once older than tmpMaxAge the next sweep collects them.
+	old := time.Now().Add(-tmpMaxAge - time.Minute)
+	if err := os.Chtimes(tmp, old, old); err != nil {
+		t.Fatal(err)
+	}
+	d := testDisk(t, dir)
+	if _, err := d.GC(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("aged orphan temp survived GC")
+	}
+}

@@ -1,0 +1,463 @@
+package artifact
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sisyphus/internal/obs"
+)
+
+// diskBoxSpec is boxSpec plus a JSON codec, the minimal disk-cacheable kind.
+func diskBoxSpec(builds *atomic.Int64, val []int) Spec[*[]int] {
+	spec := boxSpec(builds, val)
+	spec.Codec = &Codec[*[]int]{
+		Version: "json-v1",
+		Encode:  func(p *[]int) ([]byte, error) { return json.Marshal(*p) },
+		Decode: func(b []byte) (*[]int, error) {
+			var v []int
+			if err := json.Unmarshal(b, &v); err != nil {
+				return nil, err
+			}
+			return &v, nil
+		},
+	}
+	return spec
+}
+
+// testDisk opens a Disk on dir with a pinned fingerprint and test logging.
+func testDisk(t *testing.T, dir string, mutate ...func(*DiskConfig)) *Disk {
+	t.Helper()
+	cfg := DiskConfig{Dir: dir, Fingerprint: "test-fp", Log: t.Logf}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	d, err := OpenDisk(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// artFiles lists the .art files currently in dir.
+func artFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var out []string
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), artSuffix) {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	return out
+}
+
+func TestOpenDiskValidation(t *testing.T) {
+	if _, err := OpenDisk(DiskConfig{Fingerprint: "fp"}); err == nil {
+		t.Fatal("empty Dir accepted")
+	}
+	if _, err := OpenDisk(DiskConfig{Dir: t.TempDir()}); err == nil {
+		t.Fatal("empty Fingerprint accepted")
+	}
+}
+
+func TestBinaryFingerprint(t *testing.T) {
+	fp := BinaryFingerprint()
+	if len(fp) != 16 {
+		t.Fatalf("fingerprint %q: want 16 hex chars", fp)
+	}
+	if fp != BinaryFingerprint() {
+		t.Fatal("fingerprint not stable within one process")
+	}
+}
+
+// TestDiskWarmStartAcrossStores is the tier's headline behavior: a second
+// store (standing in for a second process) over the same cache dir serves
+// from disk with zero builds, and the value is byte-equal to the build.
+func TestDiskWarmStartAcrossStores(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	key, _ := NewKey("world", "s", 0, nil)
+	var builds atomic.Int64
+	spec := diskBoxSpec(&builds, []int{1, 2, 3})
+
+	cold := NewStore(WithDisk(testDisk(t, dir)))
+	v, err := GetOrBuild(ctx, cold, key, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(*v) != 3 {
+		t.Fatalf("cold value = %v", *v)
+	}
+	if st := cold.Stats(); st.Builds != 1 || st.DiskMisses != 1 || st.DiskWrites != 1 || st.DiskHits != 0 {
+		t.Fatalf("cold stats = %+v", st)
+	}
+	if files := artFiles(t, dir); len(files) != 1 {
+		t.Fatalf("art files after cold run: %v", files)
+	}
+
+	rec := obs.NewRecorder()
+	warm := NewStore(WithDisk(testDisk(t, dir)))
+	w, err := GetOrBuild(obs.With(ctx, rec), warm, key, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(*w) != 3 || (*w)[2] != 3 {
+		t.Fatalf("warm value = %v", *w)
+	}
+	if builds.Load() != 1 {
+		t.Fatalf("builds = %d, want 1 (warm run must not rebuild)", builds.Load())
+	}
+	if st := warm.Stats(); st.Builds != 0 || st.DiskHits != 1 || st.DiskWrites != 0 || st.Misses != 1 {
+		t.Fatalf("warm stats = %+v", st)
+	}
+	counters := allMetrics(rec)
+	if counters["disk.hits"] != 1 || counters["disk.hit."+key.ID()] != 1 {
+		t.Fatalf("disk hit metrics missing: %v", counters)
+	}
+}
+
+// TestDiskLoadedValueIsFrozenAndForked: a disk-served artifact must get the
+// same Freeze/Fork discipline as a built one — mutating a returned fork
+// cannot leak into later fetches.
+func TestDiskLoadedValueIsFrozenAndForked(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	key, _ := NewKey("world", "s", 0, nil)
+	spec := diskBoxSpec(nil, []int{1, 2, 3})
+
+	if _, err := GetOrBuild(ctx, NewStore(WithDisk(testDisk(t, dir))), key, spec); err != nil {
+		t.Fatal(err)
+	}
+	warm := NewStore(WithDisk(testDisk(t, dir)))
+	a, err := GetOrBuild(ctx, warm, key, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	(*a)[0] = 99
+	b, err := GetOrBuild(ctx, warm, key, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (*b)[0] != 1 {
+		t.Fatalf("mutation leaked through disk-loaded entry: %v", *b)
+	}
+}
+
+// TestDiskMemoryOnlySpecNeverTouchesDisk: a Spec without a Codec stays
+// memory-only even with a disk attached.
+func TestDiskMemoryOnlySpecNeverTouchesDisk(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(WithDisk(testDisk(t, dir)))
+	key, _ := NewKey("world", "s", 0, nil)
+	if _, err := GetOrBuild(context.Background(), s, key, boxSpec(nil, []int{1})); err != nil {
+		t.Fatal(err)
+	}
+	if files := artFiles(t, dir); len(files) != 0 {
+		t.Fatalf("codec-less spec wrote art files: %v", files)
+	}
+	if st := s.Stats(); st.DiskMisses != 0 || st.DiskWrites != 0 {
+		t.Fatalf("codec-less spec touched disk counters: %+v", st)
+	}
+}
+
+// TestDiskStaleFingerprintRebuilds: a file written under fingerprint A must
+// read as stale under fingerprint B — rebuilt, overwritten, then served.
+func TestDiskStaleFingerprintRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	key, _ := NewKey("world", "s", 0, nil)
+	var builds atomic.Int64
+	spec := diskBoxSpec(&builds, []int{7})
+
+	oldBinary := NewStore(WithDisk(testDisk(t, dir, func(c *DiskConfig) { c.Fingerprint = "fp-old" })))
+	if _, err := GetOrBuild(ctx, oldBinary, key, spec); err != nil {
+		t.Fatal(err)
+	}
+
+	newBinary := NewStore(WithDisk(testDisk(t, dir, func(c *DiskConfig) { c.Fingerprint = "fp-new" })))
+	v, err := GetOrBuild(ctx, newBinary, key, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (*v)[0] != 7 || builds.Load() != 2 {
+		t.Fatalf("stale file must rebuild: v=%v builds=%d", *v, builds.Load())
+	}
+	if st := newBinary.Stats(); st.DiskStale != 1 || st.DiskCorrupt != 0 || st.DiskWrites != 1 {
+		t.Fatalf("stats = %+v, want 1 stale + 1 write", st)
+	}
+
+	// The rebuild overwrote the stale file: a third store under the new
+	// fingerprint now hits.
+	again := NewStore(WithDisk(testDisk(t, dir, func(c *DiskConfig) { c.Fingerprint = "fp-new" })))
+	if _, err := GetOrBuild(ctx, again, key, spec); err != nil {
+		t.Fatal(err)
+	}
+	if st := again.Stats(); st.DiskHits != 1 || builds.Load() != 2 {
+		t.Fatalf("overwrite did not heal the cache: %+v builds=%d", st, builds.Load())
+	}
+}
+
+// TestDiskCodecVersionSkewIsStale: same binary fingerprint, bumped codec
+// version — the file must read stale, not corrupt, and not serve.
+func TestDiskCodecVersionSkewIsStale(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	key, _ := NewKey("world", "s", 0, nil)
+	var builds atomic.Int64
+	spec := diskBoxSpec(&builds, []int{7})
+
+	if _, err := GetOrBuild(ctx, NewStore(WithDisk(testDisk(t, dir))), key, spec); err != nil {
+		t.Fatal(err)
+	}
+	v2 := diskBoxSpec(&builds, []int{7})
+	v2.Codec.Version = "json-v2"
+	s := NewStore(WithDisk(testDisk(t, dir)))
+	if _, err := GetOrBuild(ctx, s, key, v2); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.DiskStale != 1 || builds.Load() != 2 {
+		t.Fatalf("codec version skew: stats=%+v builds=%d", st, builds.Load())
+	}
+}
+
+// TestDiskCorruptFileRebuildsAndHeals: flip one byte of the cached file —
+// the next fetch must detect it, rebuild the true value, and overwrite the
+// bad file so the store after that hits again.
+func TestDiskCorruptFileRebuildsAndHeals(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	key, _ := NewKey("world", "s", 0, nil)
+	var builds atomic.Int64
+	spec := diskBoxSpec(&builds, []int{4, 5})
+
+	if _, err := GetOrBuild(ctx, NewStore(WithDisk(testDisk(t, dir))), key, spec); err != nil {
+		t.Fatal(err)
+	}
+	files := artFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("art files: %v", files)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewStore(WithDisk(testDisk(t, dir)))
+	v, err := GetOrBuild(ctx, s, key, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (*v)[0] != 4 || (*v)[1] != 5 {
+		t.Fatalf("corrupted cache served wrong value: %v", *v)
+	}
+	if st := s.Stats(); st.DiskCorrupt != 1 || st.DiskWrites != 1 || builds.Load() != 2 {
+		t.Fatalf("stats = %+v builds = %d, want 1 corrupt + rebuild + overwrite", st, builds.Load())
+	}
+
+	healed := NewStore(WithDisk(testDisk(t, dir)))
+	if _, err := GetOrBuild(ctx, healed, key, spec); err != nil {
+		t.Fatal(err)
+	}
+	if st := healed.Stats(); st.DiskHits != 1 || builds.Load() != 2 {
+		t.Fatalf("overwrite did not heal: %+v builds=%d", st, builds.Load())
+	}
+}
+
+// TestDiskUndecodablePayloadIsCorrupt: a file whose envelope verifies but
+// whose payload the codec rejects counts as corruption and is discarded.
+func TestDiskUndecodablePayloadIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	d := testDisk(t, dir)
+	key, _ := NewKey("world", "s", 0, nil)
+	// A validly enveloped file holding non-JSON bytes under the right
+	// fingerprint: only Codec.Decode can reject it.
+	if err := d.save(key, "json-v1", []byte("not json")); err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(WithDisk(testDisk(t, dir)))
+	v, err := GetOrBuild(context.Background(), s, key, diskBoxSpec(nil, []int{9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (*v)[0] != 9 {
+		t.Fatalf("value = %v", *v)
+	}
+	if st := s.Stats(); st.DiskCorrupt != 1 {
+		t.Fatalf("stats = %+v, want 1 corrupt", st)
+	}
+}
+
+func TestDiskGCMaxBytes(t *testing.T) {
+	dir := t.TempDir()
+	d := testDisk(t, dir, func(c *DiskConfig) { c.MaxBytes = -1 })
+	payload := make([]byte, 1000)
+	var keys []Key
+	for i, sc := range []string{"a", "b", "c"} {
+		k, _ := NewKey("world", sc, 0, nil)
+		keys = append(keys, k)
+		if err := d.save(k, "v1", payload); err != nil {
+			t.Fatal(err)
+		}
+		// Stamp strictly increasing mtimes so "oldest first" is deterministic.
+		old := time.Now().Add(time.Duration(i-10) * time.Minute)
+		if err := os.Chtimes(d.path(k), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Budget for roughly two files: the oldest ("a") must go, the rest stay.
+	// (Tighten the budget on the open Disk so the sweep's stats are visible;
+	// OpenDisk would run it as a side effect.)
+	d.maxBytes = 2500
+	st, err := d.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Removed != 1 || st.RemovedBytes == 0 {
+		t.Fatalf("GC stats = %+v, want 1 file removed", st)
+	}
+	if _, err := os.Stat(d.path(keys[0])); !os.IsNotExist(err) {
+		t.Fatal("oldest artifact survived a byte-bounded GC")
+	}
+	for _, k := range keys[1:] {
+		if _, err := os.Stat(d.path(k)); err != nil {
+			t.Fatalf("newer artifact evicted: %v", err)
+		}
+	}
+}
+
+func TestDiskGCMaxAge(t *testing.T) {
+	dir := t.TempDir()
+	d := testDisk(t, dir)
+	kOld, _ := NewKey("world", "old", 0, nil)
+	kNew, _ := NewKey("world", "new", 0, nil)
+	for _, k := range []Key{kOld, kNew} {
+		if err := d.save(k, "v1", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stale := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(d.path(kOld), stale, stale); err != nil {
+		t.Fatal(err)
+	}
+	aged := testDisk(t, dir, func(c *DiskConfig) { c.MaxAge = time.Hour })
+	// OpenDisk already swept once; the old file must be gone, the new kept.
+	if _, err := os.Stat(d.path(kOld)); !os.IsNotExist(err) {
+		t.Fatal("over-age artifact survived GC")
+	}
+	if _, err := os.Stat(aged.path(kNew)); err != nil {
+		t.Fatalf("fresh artifact evicted: %v", err)
+	}
+}
+
+func TestDiskGCCollectsOrphanedTemps(t *testing.T) {
+	dir := t.TempDir()
+	orphan := filepath.Join(dir, tmpPrefix+"dead-writer")
+	fresh := filepath.Join(dir, tmpPrefix+"live-writer")
+	for _, p := range []string{orphan, fresh} {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-tmpMaxAge - time.Minute)
+	if err := os.Chtimes(orphan, old, old); err != nil {
+		t.Fatal(err)
+	}
+	d := testDisk(t, dir)
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("orphaned temp file survived GC")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("in-flight temp file collected: %v", err)
+	}
+	_ = d
+}
+
+func TestDiskGCSkipsWhenContended(t *testing.T) {
+	dir := t.TempDir()
+	d := testDisk(t, dir)
+	l, err := tryFlock(filepath.Join(dir, "gc.lock"))
+	if err != nil || l == nil {
+		t.Skipf("flock unavailable: %v", err)
+	}
+	defer l.release()
+	st, err := d.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Skipped {
+		t.Fatal("GC ran while another holder owned gc.lock")
+	}
+}
+
+func TestLockKeySerializesAndReportsWaiting(t *testing.T) {
+	dir := t.TempDir()
+	d := testDisk(t, dir)
+	key, _ := NewKey("world", "s", 0, nil)
+	ctx := context.Background()
+
+	rel1, waited1, err := d.lockKey(ctx, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waited1 {
+		t.Fatal("uncontended lock reported waiting")
+	}
+	got := make(chan bool, 1)
+	go func() {
+		rel2, waited2, err := d.lockKey(ctx, key)
+		if err != nil {
+			got <- false
+			return
+		}
+		rel2()
+		got <- waited2
+	}()
+	time.Sleep(50 * time.Millisecond) // let the second locker start polling
+	rel1()
+	if waited := <-got; !waited {
+		t.Fatal("contended lock did not report waiting (waiter must re-probe disk)")
+	}
+
+	// A waiter whose context dies while polling gets the context error.
+	rel3, _, err := d.lockKey(ctx, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel3()
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, _, err := d.lockKey(cancelled, key); err == nil {
+		t.Fatal("cancelled waiter acquired the lock")
+	}
+}
+
+func TestRenderStatsDiskSection(t *testing.T) {
+	mem := NewStore()
+	if strings.Contains(mem.RenderStats(), "| disk:") {
+		t.Fatalf("memory-only store renders a disk section: %q", mem.RenderStats())
+	}
+	dir := t.TempDir()
+	s := NewStore(WithDisk(testDisk(t, dir)))
+	key, _ := NewKey("world", "s", 0, nil)
+	if _, err := GetOrBuild(context.Background(), s, key, diskBoxSpec(nil, []int{1})); err != nil {
+		t.Fatal(err)
+	}
+	line := s.RenderStats()
+	want := "| disk: 0 hits, 1 misses, 1 writes, 0 corrupt, 0 stale, 0 errors"
+	if !strings.Contains(line, want) {
+		t.Fatalf("RenderStats = %q, want substring %q", line, want)
+	}
+}

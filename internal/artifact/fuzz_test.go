@@ -1,0 +1,56 @@
+package artifact
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeArtifactFile is the hostile-bytes gate for the disk tier: the
+// envelope decoders must never panic on arbitrary input, must uphold their
+// own header invariants whenever they accept a file, and must round-trip
+// arbitrary payloads exactly. The seed corpus in testdata covers a valid
+// envelope of each artifact kind plus truncated and bit-flipped variants.
+func FuzzDecodeArtifactFile(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("SART"))
+	for _, kind := range []string{"world", "rib", "campaign"} {
+		valid := EncodeFile(kind, kind+"/za/seed42/abc123", "fp|"+kind+"-gob-v1", []byte("payload of "+kind))
+		f.Add(valid)
+		f.Add(valid[:len(valid)/2])
+		flip := append([]byte(nil), valid...)
+		flip[len(flip)/3] ^= 0x10
+		f.Add(flip)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Never panic, whatever the bytes.
+		h, payload, err := DecodeFileAny(data)
+		if err == nil {
+			// Accepted files must satisfy their own header.
+			if int64(len(payload)) != h.PayloadLen {
+				t.Fatalf("accepted file: %d payload bytes vs header's %d", len(payload), h.PayloadLen)
+			}
+			// The identity-checked decoder must agree with the matching
+			// identity and refuse a mismatched one.
+			if _, err := DecodeFile(data, h.Kind, h.ID, h.Fingerprint); err != nil {
+				t.Fatalf("DecodeFile rejected what DecodeFileAny accepted: %v", err)
+			}
+			if _, err := DecodeFile(data, h.Kind+"x", h.ID, h.Fingerprint); err == nil {
+				t.Fatal("DecodeFile accepted a wrong kind")
+			}
+			if _, err := DecodeFile(data, h.Kind, h.ID, h.Fingerprint+"x"); err == nil {
+				t.Fatal("DecodeFile accepted a wrong fingerprint")
+			}
+		}
+		_, _ = DecodeFile(data, "world", "world/za/seed0/x", "fp|v1")
+
+		// Arbitrary bytes used as a payload must round-trip exactly.
+		file := EncodeFile("rib", "rib/za/seed7/ff00", "fp|rib-gob-v1", data)
+		back, err := DecodeFile(file, "rib", "rib/za/seed7/ff00", "fp|rib-gob-v1")
+		if err != nil {
+			t.Fatalf("round-trip rejected: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatal("round-trip payload mismatch")
+		}
+	})
+}

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package artifact
+
+// Non-unix platforms have no flock; the disk tier runs lockless there.
+// Correctness never depended on the lock — writes are temp+rename atomic and
+// concurrent builders of one key write identical bytes — the lock only
+// avoids duplicated build work across processes.
+type fileLock struct{}
+
+func tryFlock(path string) (*fileLock, error) { return &fileLock{}, nil }
+
+func (l *fileLock) release() {}

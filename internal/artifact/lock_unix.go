@@ -1,0 +1,40 @@
+//go:build unix
+
+package artifact
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// fileLock is an advisory whole-file flock. Locks die with the process, so a
+// crashed builder can never wedge the cache directory for the fleet.
+type fileLock struct{ f *os.File }
+
+// tryFlock attempts a non-blocking exclusive lock on path, creating the file
+// if needed. Returns (lock, nil) on success, (nil, nil) when another process
+// (or another handle in this one) holds it, and (nil, err) when the
+// filesystem cannot lock at all — callers treat that as "locking
+// unsupported" and proceed lockless.
+func tryFlock(path string) (*fileLock, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if errors.Is(err, syscall.EWOULDBLOCK) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return &fileLock{f: f}, nil
+}
+
+// release drops the lock. The lock file itself is left in place: removing it
+// would race a concurrent locker holding a descriptor to the old inode.
+func (l *fileLock) release() {
+	_ = syscall.Flock(int(l.f.Fd()), syscall.LOCK_UN)
+	_ = l.f.Close()
+}

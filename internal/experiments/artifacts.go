@@ -47,6 +47,11 @@ func fetchWorld(ctx context.Context, pool parallel.Pool, id string) (*scenario.S
 		Fork:   (*scenario.SouthAfrica).Fork,
 		Freeze: (*scenario.SouthAfrica).Freeze,
 		Size:   (*scenario.SouthAfrica).SizeBytes,
+		Codec: &artifact.Codec[*scenario.SouthAfrica]{
+			Version: worldCodecVersion,
+			Encode:  EncodeWorldArtifact,
+			Decode:  DecodeWorldArtifact,
+		},
 	})
 	if err != nil {
 		return nil, nil, err
@@ -73,6 +78,20 @@ func fetchWorld(ctx context.Context, pool parallel.Pool, id string) (*scenario.S
 		Fork:   func(r *bgp.RIB) *bgp.RIB { return r.Fork(s.Topo) },
 		Freeze: (*bgp.RIB).Freeze,
 		Size:   (*bgp.RIB).SizeBytes,
+		Codec: &artifact.Codec[*bgp.RIB]{
+			Version: ribCodecVersion,
+			Encode:  EncodeRIBArtifact,
+			// Decode rebinds onto a freshly built private world, exactly as
+			// Build computes over its own private world: no caller-owned
+			// topology leaks into the stored original either way.
+			Decode: func(b []byte) (*bgp.RIB, error) {
+				w, err := scenario.Build(id)
+				if err != nil {
+					return nil, err
+				}
+				return DecodeRIBArtifact(b, w.Topo, pool)
+			},
+		},
 	})
 	if err != nil {
 		return nil, nil, err
@@ -267,6 +286,17 @@ func fetchCampaign(ctx context.Context, pool parallel.Pool, id string, seed uint
 		// indexes) plus the post-simulation world riding along with it —
 		// the old store-only size undercounted what the LRU actually held.
 		Size: func(c campaign) int64 { return c.store.SizeBytes() + c.world.SizeBytes() },
+		Codec: &artifact.Codec[campaign]{
+			Version: campaignCodecVersion,
+			Encode:  func(c campaign) ([]byte, error) { return EncodeCampaignArtifact(c.world, c.store) },
+			Decode: func(b []byte) (campaign, error) {
+				w, st, err := DecodeCampaignArtifact(b)
+				if err != nil {
+					return campaign{}, err
+				}
+				return campaign{world: w, store: st}, nil
+			},
+		},
 	})
 	if err != nil {
 		return nil, nil, err

@@ -1,0 +1,86 @@
+package scenario
+
+import (
+	"fmt"
+
+	"sisyphus/internal/netsim/topo"
+)
+
+// Export is the serialized form of a built scenario: the topology's export
+// plus the casting lists. Slices keep their in-memory order (treated then
+// donor iteration order is part of the suite's determinism), and there are
+// no maps, so a deterministic encoder yields identical bytes for identical
+// worlds.
+type Export struct {
+	Topo           *topo.Export
+	IXPName        string
+	IXPPrefix      string
+	ContentASNs    []topo.ASN
+	Treated        []Unit
+	TreatedASNs    []topo.ASN
+	Donors         []Unit
+	MLabServerASNs []topo.ASN
+}
+
+// Export snapshots the scenario into its serialized form (read-only; safe
+// on frozen worlds).
+func (s *SouthAfrica) Export() *Export {
+	return &Export{
+		Topo:           s.Topo.Export(),
+		IXPName:        s.IXPName,
+		IXPPrefix:      s.IXPPrefix,
+		ContentASNs:    append([]topo.ASN(nil), s.ContentASNs...),
+		Treated:        append([]Unit(nil), s.Treated...),
+		TreatedASNs:    append([]topo.ASN(nil), s.TreatedASNs...),
+		Donors:         append([]Unit(nil), s.Donors...),
+		MLabServerASNs: append([]topo.ASN(nil), s.MLabServerASNs...),
+	}
+}
+
+// Import reconstructs a scenario from its serialized form. Topology
+// validation does the heavy lifting; on top of it the casting lists are
+// checked to reference known units so a corrupted payload cannot smuggle in
+// units the world cannot measure from. The result is unfrozen, exactly like
+// a fresh build.
+func Import(e *Export) (*SouthAfrica, error) {
+	if e == nil {
+		return nil, fmt.Errorf("scenario: import: nil export")
+	}
+	t, err := topo.Import(e.Topo)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: import: %w", err)
+	}
+	s := &SouthAfrica{
+		Topo:           t,
+		IXPName:        e.IXPName,
+		IXPPrefix:      e.IXPPrefix,
+		ContentASNs:    append([]topo.ASN(nil), e.ContentASNs...),
+		Treated:        append([]Unit(nil), e.Treated...),
+		TreatedASNs:    append([]topo.ASN(nil), e.TreatedASNs...),
+		Donors:         append([]Unit(nil), e.Donors...),
+		MLabServerASNs: append([]topo.ASN(nil), e.MLabServerASNs...),
+	}
+	if s.IXPName != "" {
+		if _, err := t.IXP(s.IXPName); err != nil {
+			return nil, fmt.Errorf("scenario: import: %w", err)
+		}
+	}
+	for _, u := range s.AllUnits() {
+		if _, err := s.UserPoP(u); err != nil {
+			return nil, fmt.Errorf("scenario: import: unit %s: %w", u, err)
+		}
+	}
+	for _, asn := range s.TreatedASNs {
+		if _, err := t.AS(asn); err != nil {
+			return nil, fmt.Errorf("scenario: import: treated: %w", err)
+		}
+	}
+	for _, lists := range [][]topo.ASN{s.ContentASNs, s.MLabServerASNs} {
+		for _, asn := range lists {
+			if _, err := t.AS(asn); err != nil {
+				return nil, fmt.Errorf("scenario: import: %w", err)
+			}
+		}
+	}
+	return s, nil
+}
