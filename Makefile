@@ -10,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify verify-cache-off verify-warm-cache bench bench-stages bench-forks
+.PHONY: build test vet race verify verify-cache-off verify-warm-cache verify-sweep bench bench-stages bench-forks
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,24 @@ verify-warm-cache:
 	$$dir/sisyphus -all -seed 42 -cache-dir $$dir/cache 2>$$dir/corrupt.err \
 		| cmp - internal/experiments/testdata/all_seed42.golden.txt; \
 	grep -qE ' [1-9][0-9]* corrupt' $$dir/corrupt.err
+
+# The sweep-driver determinism gate, through the real CLI: one binary runs
+# the same small grid — the canned Table 1 world plus a generated internet,
+# four seeds each — at two worker widths, and the JSON reports must be
+# byte-identical. Worker width is the scheduling knob most likely to leak
+# into aggregation order; cmp holds the distributional report to exactly
+# the same bytes regardless.
+verify-sweep:
+	set -eu; dir=$$(mktemp -d /tmp/sisyphus-sweep.XXXXXX); \
+	trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) build -o $$dir/sisyphus ./cmd/sisyphus; \
+	$$dir/sisyphus -sweep -experiments table1 \
+		-scenarios 'southafrica,gen:access=10+treated=2+seed=3' \
+		-seeds 1..4 -workers 1 -json >$$dir/w1.json; \
+	$$dir/sisyphus -sweep -experiments table1 \
+		-scenarios 'southafrica,gen:access=10+treated=2+seed=3' \
+		-seeds 1..4 -workers 4 -json >$$dir/w4.json; \
+	cmp $$dir/w1.json $$dir/w4.json
 
 # The benchmarks backing DESIGN.md's ablation tables and CHANGES.md's
 # before/after numbers. Text output streams as usual; a machine-readable

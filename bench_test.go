@@ -20,6 +20,7 @@ import (
 	"sisyphus/internal/parallel"
 	"sisyphus/internal/platform"
 	"sisyphus/internal/probe"
+	"sisyphus/internal/sweep"
 )
 
 // BenchmarkTable1IXPStudy regenerates Table 1: the six-week NAPAfrica case
@@ -167,6 +168,38 @@ func BenchmarkAllSuite(b *testing.B) {
 	})
 }
 
+// BenchmarkSweepGrid runs the sweep driver over a small but real grid — the
+// canned Table 1 world plus a generated internet, four seeds each — so
+// BENCH_sisyphus.json records the cost of a distributional-report cell
+// matrix with shared world artifacts.
+func BenchmarkSweepGrid(b *testing.B) {
+	genID, err := scenario.RegisterGen(func() scenario.GenSpec {
+		sp := scenario.DefaultGenSpec()
+		sp.Config.Access = 10
+		sp.Config.Treated = 2
+		sp.Seed = 3
+		return sp
+	}())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		rep, err := sweep.Run(context.Background(), sweep.GridConfig{
+			Experiments: []string{"table1"},
+			Scenarios:   []string{scenario.SouthAfricaID, genID},
+			Seeds:       []uint64{1, 2, 3, 4},
+			Pool:        parallel.Pool{},
+			Artifacts:   artifact.NewStore(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Failures) != 0 {
+			b.Fatalf("sweep cells failed: %+v", rep.Failures)
+		}
+	}
+}
+
 // diskBenchStore opens a disk-backed store on dir with a pinned fingerprint
 // (so warmed dirs stay valid across `go test` recompiles) and silent logging.
 func diskBenchStore(b *testing.B, dir string) *artifact.Store {
@@ -189,7 +222,7 @@ func diskBenchStore(b *testing.B, dir string) *artifact.Store {
 
 // BenchmarkForkWorld forks the Table 1 scenario world.
 func BenchmarkForkWorld(b *testing.B) {
-	build := func(b *testing.B) *scenario.SouthAfrica {
+	build := func(b *testing.B) *scenario.World {
 		b.Helper()
 		s, err := scenario.Build(scenario.SouthAfricaID)
 		if err != nil {
@@ -254,7 +287,7 @@ func BenchmarkForkRIB(b *testing.B) {
 // measurement store of campaign scale (one simulated record per ~20 minutes
 // over six weeks, the Table 1 volume).
 func BenchmarkForkCampaign(b *testing.B) {
-	build := func(b *testing.B) (*scenario.SouthAfrica, *platform.Store) {
+	build := func(b *testing.B) (*scenario.World, *platform.Store) {
 		b.Helper()
 		s, err := scenario.Build(scenario.SouthAfricaID)
 		if err != nil {
@@ -296,7 +329,7 @@ func BenchmarkForkCampaign(b *testing.B) {
 
 // Package-level sinks keep the compiler from eliding the forks.
 var (
-	benchWorldSink *scenario.SouthAfrica
+	benchWorldSink *scenario.World
 	benchRIBSink   *bgp.RIB
 	benchStoreSink *platform.Store
 )

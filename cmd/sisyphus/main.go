@@ -37,20 +37,22 @@ import (
 
 	"sisyphus/internal/artifact"
 	"sisyphus/internal/experiments"
+	"sisyphus/internal/netsim/scenario"
 	"sisyphus/internal/obs"
 	"sisyphus/internal/parallel"
+	"sisyphus/internal/sweep"
 )
 
 // validateFlags rejects flag combinations that would otherwise be silently
 // ignored: a negative worker count is never meaningful, and -workers sizes
-// the pool that only -parallel uses, so passing it alone is almost certainly
-// a mistake the user should hear about.
-func validateFlags(workersSet bool, workers int, parallelMode bool) error {
+// the pool that only -parallel and -sweep use, so passing it alone is
+// almost certainly a mistake the user should hear about.
+func validateFlags(workersSet bool, workers int, parallelMode, sweepMode bool) error {
 	if workers < 0 {
 		return fmt.Errorf("-workers must be >= 0 (got %d)", workers)
 	}
-	if workersSet && !parallelMode {
-		return fmt.Errorf("-workers only applies with -parallel; add -parallel or drop -workers")
+	if workersSet && !parallelMode && !sweepMode {
+		return fmt.Errorf("-workers only applies with -parallel or -sweep; add one or drop -workers")
 	}
 	return nil
 }
@@ -77,7 +79,7 @@ func validateCacheDirFlag(cacheDir, cache string, runs bool) error {
 		return fmt.Errorf("-cache-dir requires the cache; drop -cache=off or -cache-dir")
 	}
 	if !runs {
-		return fmt.Errorf("-cache-dir requires a run (-all or -experiment)")
+		return fmt.Errorf("-cache-dir requires a run (-all, -experiment, or -sweep)")
 	}
 	return nil
 }
@@ -91,11 +93,11 @@ func validateObsFlags(trace string, metrics bool, pprofAddr string, runs bool) e
 	}
 	switch {
 	case trace != "":
-		return fmt.Errorf("-trace requires a run (-all or -experiment)")
+		return fmt.Errorf("-trace requires a run (-all, -experiment, or -sweep)")
 	case metrics:
-		return fmt.Errorf("-metrics requires a run (-all or -experiment)")
+		return fmt.Errorf("-metrics requires a run (-all, -experiment, or -sweep)")
 	case pprofAddr != "":
-		return fmt.Errorf("-pprof requires a run (-all or -experiment)")
+		return fmt.Errorf("-pprof requires a run (-all, -experiment, or -sweep)")
 	}
 	return nil
 }
@@ -170,15 +172,33 @@ func main() {
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run")
 		cache     = flag.String("cache", "on", "artifact cache: \"on\" shares scenario worlds, RIBs and campaigns across experiments; \"off\" rebuilds everything (output bytes are identical either way)")
 		cacheDir  = flag.String("cache-dir", "", "persist artifacts across runs in this directory: run N+1 reuses worlds, RIBs and campaigns run N built (output bytes are identical; corrupted or stale files rebuild silently)")
+		scen      = flag.String("scenario", "", "with -experiment, run on this world instead of the default (a registered id or a gen: spec; see "+scenario.GenGrammar+")")
+		sweepMode = flag.Bool("sweep", false, "run a scenario×seed sweep of -experiments and report estimate distributions")
+		sweepExps = flag.String("experiments", "table1", "with -sweep, comma-separated experiment ids to sweep (scenario-capable only)")
+		scenarios = flag.String("scenarios", scenario.SouthAfricaID, "with -sweep, comma-separated world ids or gen: specs")
+		seedsSpec = flag.String("seeds", "", "with -sweep, seed grid: \"1..200\", \"1,2,5\", or mixed \"1..4,10\" (required)")
+		cellTO    = flag.Duration("cell-timeout", 0, "with -sweep, per-cell wall-clock bound; a cell exceeding it is reported failed, the grid continues (0 = none)")
 	)
 	flag.Parse()
-	workersSet := false
+	workersSet, expsSet, scenesSet := false, false, false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "workers" {
+		switch f.Name {
+		case "workers":
 			workersSet = true
+		case "experiments":
+			expsSet = true
+		case "scenarios":
+			scenesSet = true
 		}
 	})
-	if err := validateFlags(workersSet, *nworkers, *par); err != nil {
+	if err := validateFlags(workersSet, *nworkers, *par, *sweepMode); err != nil {
+		fmt.Fprintln(os.Stderr, "sisyphus:", err)
+		os.Exit(2)
+	}
+	if err := validateSweepFlags(sweepFlags{
+		sweep: *sweepMode, seeds: *seedsSpec, expsSet: expsSet, scenesSet: scenesSet,
+		scenario: *scen, cellTimeout: *cellTO,
+	}, *all, *exp); err != nil {
 		fmt.Fprintln(os.Stderr, "sisyphus:", err)
 		os.Exit(2)
 	}
@@ -190,7 +210,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sisyphus:", err)
 		os.Exit(2)
 	}
-	runs := *all || *exp != ""
+	runs := *all || *exp != "" || *sweepMode
 	if err := validateCacheDirFlag(*cacheDir, *cache, runs); err != nil {
 		fmt.Fprintln(os.Stderr, "sisyphus:", err)
 		os.Exit(2)
@@ -275,6 +295,46 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("  %-16s %s\n", e.ID, e.Paper)
 		}
+	case *sweepMode:
+		// Sweep: fan -experiments × -scenarios × -seeds through the shared
+		// pool and store, report estimate distributions over the grid.
+		// Scenario tokens resolve up front — a bad gen: spec or unknown id is
+		// a usage error, not a grid of failed cells.
+		seeds, err := parseSeeds(*seedsSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sisyphus:", err)
+			os.Exit(2)
+		}
+		var scenes []string
+		for _, tok := range splitList(*scenarios) {
+			id, err := scenario.ResolveID(tok)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sisyphus: -scenarios:", err)
+				os.Exit(2)
+			}
+			scenes = append(scenes, id)
+		}
+		rep, err := sweep.Run(ctx, sweep.GridConfig{
+			Experiments: splitList(*sweepExps),
+			Scenarios:   scenes,
+			Seeds:       seeds,
+			Pool:        pool,
+			Artifacts:   store,
+			CellTimeout: *cellTO,
+		})
+		if err != nil {
+			if canceled(err) {
+				fmt.Fprintf(os.Stderr, "sisyphus: sweep cancelled: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, "sisyphus: -sweep:", err)
+			os.Exit(2)
+		}
+		emit(rep)
+		if len(rep.Failures) > 0 {
+			fmt.Fprintf(os.Stderr, "sisyphus: sweep: %d of %d cells failed (see report)\n",
+				len(rep.Failures), rep.Cells)
+		}
 	case *all && *par:
 		// Concurrent suite: experiments fan out across the pool, results
 		// print in ID order once all are done — same bytes as sequential.
@@ -327,6 +387,22 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sisyphus:", err)
 			os.Exit(2)
+		}
+		if *scen != "" {
+			// Retarget the experiment's defaults at another world. Both the
+			// resolution (unknown id, bad gen: spec) and the retargeting (a
+			// non-scenario-capable experiment) are usage errors.
+			id, err := scenario.ResolveID(*scen)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sisyphus: -scenario:", err)
+				os.Exit(2)
+			}
+			opts, err := e.OptionsForScenario(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sisyphus: -scenario:", err)
+				os.Exit(2)
+			}
+			cfg.Opts = opts
 		}
 		res, err := e.Run(ctx, cfg)
 		if err != nil {

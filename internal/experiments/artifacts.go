@@ -32,7 +32,7 @@ const (
 // engine with. With no store on the context it builds the world directly
 // and returns a nil RIB — the engine then computes its own fixed point
 // lazily, exactly the pre-cache code path.
-func fetchWorld(ctx context.Context, pool parallel.Pool, id string) (*scenario.SouthAfrica, *bgp.RIB, error) {
+func fetchWorld(ctx context.Context, pool parallel.Pool, id string) (*scenario.World, *bgp.RIB, error) {
 	st := artifact.From(ctx)
 	if st == nil {
 		s, err := scenario.Build(id)
@@ -42,12 +42,12 @@ func fetchWorld(ctx context.Context, pool parallel.Pool, id string) (*scenario.S
 	if err != nil {
 		return nil, nil, err
 	}
-	s, err := artifact.GetOrBuild(ctx, st, wkey, artifact.Spec[*scenario.SouthAfrica]{
-		Build:  func(ctx context.Context) (*scenario.SouthAfrica, error) { return scenario.Build(id) },
-		Fork:   (*scenario.SouthAfrica).Fork,
-		Freeze: (*scenario.SouthAfrica).Freeze,
-		Size:   (*scenario.SouthAfrica).SizeBytes,
-		Codec: &artifact.Codec[*scenario.SouthAfrica]{
+	s, err := artifact.GetOrBuild(ctx, st, wkey, artifact.Spec[*scenario.World]{
+		Build:  func(ctx context.Context) (*scenario.World, error) { return scenario.Build(id) },
+		Fork:   (*scenario.World).Fork,
+		Freeze: (*scenario.World).Freeze,
+		Size:   (*scenario.World).SizeBytes,
+		Codec: &artifact.Codec[*scenario.World]{
 			Version: worldCodecVersion,
 			Encode:  EncodeWorldArtifact,
 			Decode:  DecodeWorldArtifact,
@@ -163,7 +163,7 @@ func flapHours(totalHours, period float64) []float64 {
 // and flaps applied) and the store of every measurement the platform
 // ingested.
 type campaign struct {
-	world *scenario.SouthAfrica
+	world *scenario.World
 	store *platform.Store
 }
 
@@ -209,7 +209,7 @@ func runCampaign(ctx context.Context, pool parallel.Pool, id string, seed uint64
 		if err != nil {
 			return campaign{}, err
 		}
-		pops = append(pops, platform.UserPop{Src: src, Dst: scenario.BigContent, Size: 1})
+		pops = append(pops, platform.UserPop{Src: src, Dst: s.MeasureDst(), Size: 1})
 	}
 	um := platform.NewUserModel(pops, seed+2)
 	um.BaseRate = p.UserRate
@@ -260,7 +260,7 @@ func runCampaign(ctx context.Context, pool parallel.Pool, id string, seed uint64
 // context, or by simulating directly when not. Params are normalized (see
 // campaignParamsFrom) before both keying and building, so everyone who
 // shares a key also shares the exact build recipe.
-func fetchCampaign(ctx context.Context, pool parallel.Pool, id string, seed uint64, p campaignParams) (*scenario.SouthAfrica, *platform.Store, error) {
+func fetchCampaign(ctx context.Context, pool parallel.Pool, id string, seed uint64, p campaignParams) (*scenario.World, *platform.Store, error) {
 	st := artifact.From(ctx)
 	if st == nil {
 		c, err := runCampaign(ctx, pool, id, seed, p)

@@ -104,6 +104,10 @@ type ChaosOptions struct {
 	// The fault-free base level must come first: p-value shifts are measured
 	// against the first level's placebo ranks.
 	Intensities []float64
+	// Scenario names the world every level runs on (default
+	// scenario.SouthAfricaID). Like Table1Config.Scenario it is identity,
+	// not parameters: it selects which world artifact the levels share.
+	Scenario string
 }
 
 func (ChaosOptions) experimentOptions() {}
@@ -130,7 +134,8 @@ func RunChaos(ctx context.Context, pool parallel.Pool, seed uint64, o ChaosOptio
 		cfg := Table1Config{
 			Weeks: o.Weeks, JoinWeek: o.JoinWeek, Seed: seed, Method: synthetic.Robust,
 			WithTruth: true, Faults: &fc,
-			Retry: probe.RetryPolicy{MaxAttempts: 2},
+			Retry:    probe.RetryPolicy{MaxAttempts: 2},
+			Scenario: o.Scenario,
 		}
 		t1, err := RunTable1(ctx, pool, cfg)
 		if err != nil {

@@ -54,13 +54,13 @@ func gobDecode(b []byte, v any) (err error) {
 }
 
 // EncodeWorldArtifact serializes a scenario world for the disk tier.
-func EncodeWorldArtifact(s *scenario.SouthAfrica) ([]byte, error) {
+func EncodeWorldArtifact(s *scenario.World) ([]byte, error) {
 	return gobEncode(s.Export())
 }
 
 // DecodeWorldArtifact reconstructs a world from EncodeWorldArtifact bytes,
 // validating every cross-reference; arbitrary bytes error, never panic.
-func DecodeWorldArtifact(b []byte) (*scenario.SouthAfrica, error) {
+func DecodeWorldArtifact(b []byte) (*scenario.World, error) {
 	var e scenario.Export
 	if err := gobDecode(b, &e); err != nil {
 		return nil, fmt.Errorf("world artifact: %w", err)
@@ -93,14 +93,14 @@ type campaignExport struct {
 }
 
 // EncodeCampaignArtifact serializes a simulated campaign for the disk tier.
-func EncodeCampaignArtifact(w *scenario.SouthAfrica, st *platform.Store) ([]byte, error) {
+func EncodeCampaignArtifact(w *scenario.World, st *platform.Store) ([]byte, error) {
 	return gobEncode(&campaignExport{World: w.Export(), Measurements: st.ExportMeasurements()})
 }
 
 // DecodeCampaignArtifact reconstructs a campaign — world and measurement
 // store — from EncodeCampaignArtifact bytes. The store replays ingestion,
 // rebuilding dedup and coverage indexes; every record is validated.
-func DecodeCampaignArtifact(b []byte) (*scenario.SouthAfrica, *platform.Store, error) {
+func DecodeCampaignArtifact(b []byte) (*scenario.World, *platform.Store, error) {
 	var e campaignExport
 	if err := gobDecode(b, &e); err != nil {
 		return nil, nil, fmt.Errorf("campaign artifact: %w", err)

@@ -108,6 +108,39 @@ func (e Experiment) Header() string {
 	return fmt.Sprintf("=== %s: %s ===\n\n", e.ID, e.Paper)
 }
 
+// OptionsForScenario returns the experiment's default options retargeted at
+// the named world, for experiments whose options carry a scenario id
+// (table1, chaos). The rest of the suite is cast-specific — it reaches into
+// named ASes of the South Africa world — and errors here, which is what
+// makes `-scenario`/`-sweep` validation a typed refusal instead of a wrong
+// answer on the wrong world.
+func (e Experiment) OptionsForScenario(id string) (Options, error) {
+	switch o := e.Defaults.(type) {
+	case Table1Config:
+		o.Scenario = id
+		return o, nil
+	case ChaosOptions:
+		o.Scenario = id
+		return o, nil
+	default:
+		return nil, fmt.Errorf("experiments: %s does not take a scenario (scenario-capable: %s)",
+			e.ID, strings.Join(ScenarioCapableIDs(), ", "))
+	}
+}
+
+// ScenarioCapableIDs lists the experiments whose options accept a scenario
+// id, sorted.
+func ScenarioCapableIDs() []string {
+	var out []string
+	for _, e := range All() {
+		switch e.Defaults.(type) {
+		case Table1Config, ChaosOptions:
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
 // Renderable is any experiment result that can print itself.
 type Renderable interface {
 	Render() string

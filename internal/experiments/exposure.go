@@ -60,7 +60,7 @@ func RunExposure(ctx context.Context, pool parallel.Pool, seed uint64) (*Exposur
 		id   topo.LinkID
 	}
 	res := &ExposureResult{}
-	var s *scenario.SouthAfrica
+	var s *scenario.World
 	var e *engine.Engine
 	var pairs []pair
 	var candidates []candidate

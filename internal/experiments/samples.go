@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+)
+
+// nanNullable is the "no value" sample field.
+func nanNullable() NullableFloat { return NullableFloat(math.NaN()) }
+
+// Sample is one estimator outcome extracted from an experiment result for
+// distributional aggregation: the sweep driver pools Samples across a
+// scenario×seed grid and reports bias/RMSE/coverage/p quantiles per
+// estimator. It is a projection of existing result fields — results
+// themselves gain no fields for sweeps, so the `-json` serialization of a
+// single run is untouched.
+type Sample struct {
+	// Estimator names the estimate's method (and, where relevant, its
+	// operating point — e.g. "synthetic-control" or "sc@i0.40").
+	Estimator string
+	// Unit identifies what was estimated ("AS3100/Johannesburg", or an
+	// aggregate label like "level").
+	Unit string
+	// Bias is estimate − truth, in the estimator's native unit (ms here).
+	// NaN when the run had no ground truth for this sample.
+	Bias NullableFloat
+	// PValue is the sample's placebo p-value (NaN when not computed).
+	PValue NullableFloat
+	// Coverage is the fraction of the sample's panel backed by real
+	// measurements (1.0 on clean runs).
+	Coverage float64
+}
+
+// Sampler is implemented by experiment results that can project themselves
+// into distributional samples; the sweep driver accepts exactly these
+// experiments (plus a scenario-capable options type — see
+// Experiment.OptionsForScenario).
+type Sampler interface {
+	Samples() []Sample
+}
+
+// Samples projects the Table 1 result: one sample per treated unit that
+// crossed the exchange and produced an estimate. Bias is the estimate
+// against counterfactual-replay truth (NaN without WithTruth).
+func (r *Table1Result) Samples() []Sample {
+	var out []Sample
+	for _, row := range r.Rows {
+		if !row.Crossed || row.EstimateError != "" {
+			continue
+		}
+		bias := nanNullable()
+		if !row.TrueDelta.IsNaN() {
+			bias = NullableFloat(row.RTTDelta - float64(row.TrueDelta))
+		}
+		out = append(out, Sample{
+			Estimator: "synthetic-control",
+			Unit:      row.Unit.String(),
+			Bias:      bias,
+			PValue:    NullableFloat(row.PValue),
+			Coverage:  row.Coverage,
+		})
+	}
+	return out
+}
+
+// Samples projects the chaos sweep: one sample per fault-intensity level,
+// the estimator name carrying the operating point so levels aggregate
+// separately across the grid. Bias here is the level's mean |est − true| —
+// a magnitude, so its grid RMSE/quantiles read as degradation curves.
+func (r *ChaosResult) Samples() []Sample {
+	out := make([]Sample, 0, len(r.Levels))
+	for _, l := range r.Levels {
+		out = append(out, Sample{
+			Estimator: fmt.Sprintf("sc@i%.2f", l.Intensity),
+			Unit:      "level",
+			Bias:      l.MeanAbsError,
+			PValue:    l.MeanPValue,
+			Coverage:  l.MeanUnitCoverage,
+		})
+	}
+	return out
+}

@@ -176,7 +176,7 @@ func RunTable1(ctx context.Context, pool parallel.Pool, cfg Table1Config) (*Tabl
 	// seed, campaign params⟩, so suite runs that agree on those coordinates
 	// (DiD's re-analysis, the trombone-era modern arm, the fault-free chaos
 	// level) share one simulation instead of re-running it.
-	collect := func(ctx context.Context, withJoin bool) (*scenario.SouthAfrica, *platform.Store, error) {
+	collect := func(ctx context.Context, withJoin bool) (*scenario.World, *platform.Store, error) {
 		return fetchCampaign(ctx, pool, cfg.Scenario, cfg.Seed, campaignParamsFrom(cfg, withJoin))
 	}
 
@@ -184,7 +184,7 @@ func RunTable1(ctx context.Context, pool parallel.Pool, cfg Table1Config) (*Tabl
 	// serving layer could cache and reuse (a collected world, a binned
 	// donor panel) while re-running only the later stages.
 	type worlds struct {
-		s          *scenario.SouthAfrica
+		s          *scenario.World
 		store      *platform.Store
 		truthStore *platform.Store // nil unless cfg.WithTruth
 	}

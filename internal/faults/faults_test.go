@@ -10,7 +10,7 @@ import (
 	"sisyphus/internal/probe"
 )
 
-func testProber(t *testing.T) (*scenario.SouthAfrica, *probe.Prober) {
+func testProber(t *testing.T) (*scenario.World, *probe.Prober) {
 	t.Helper()
 	s, err := scenario.BuildSouthAfrica()
 	if err != nil {

@@ -113,6 +113,35 @@ func PropagationMs(a, b City) float64 {
 	return DistanceKm(a, b) * routeInefficiency / fiberKmPerMs
 }
 
+// SyntheticRegistry returns n deterministic synthetic cities ("City-000"…)
+// spread over the globe on a Fibonacci sphere, so generated internets can
+// be arbitrarily larger than the default city set while every pairwise
+// distance — and therefore every propagation delay — is a pure function of
+// n and the index. No randomness: equal n gives equal registries, which the
+// content-addressed gen/<cfghash> world ids depend on. Latitudes are damped
+// to ±60° so no city sits on a pole, and UTC offsets follow longitude.
+func SyntheticRegistry(n int) *Registry {
+	r := NewRegistry()
+	// Golden angle in degrees; successive points are maximally spread.
+	const goldenAngle = 137.50776405003785
+	for i := 0; i < n; i++ {
+		frac := (float64(i) + 0.5) / float64(n)
+		lat := (math.Asin(2*frac-1) * 180 / math.Pi) * (60.0 / 90.0)
+		lon := math.Mod(float64(i)*goldenAngle, 360)
+		if lon > 180 {
+			lon -= 360
+		}
+		r.Add(City{
+			Name:      fmt.Sprintf("City-%03d", i),
+			Country:   "XX",
+			Lat:       lat,
+			Lon:       lon,
+			UTCOffset: math.Round(lon / 15),
+		})
+	}
+	return r
+}
+
 // DefaultRegistry returns the city set used by the built-in scenarios:
 // the South African metros from Table 1, the European transit hubs that
 // South African traffic historically tromboned through, and a few extras

@@ -1,6 +1,7 @@
 package geo
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -108,5 +109,47 @@ func TestNamesSorted(t *testing.T) {
 	}
 	if len(names) < 15 {
 		t.Fatalf("expected a rich default registry, got %d cities", len(names))
+	}
+}
+
+func TestSyntheticRegistryDeterministicAndBounded(t *testing.T) {
+	a, b := SyntheticRegistry(24), SyntheticRegistry(24)
+	if len(a.Names()) != 24 {
+		t.Fatalf("city count = %d", len(a.Names()))
+	}
+	for i, name := range a.Names() {
+		want := fmt.Sprintf("City-%03d", i)
+		if name != want {
+			t.Fatalf("name[%d] = %q, want %q (dense, sorted)", i, name, want)
+		}
+		ca, cb := a.MustGet(name), b.MustGet(name)
+		if ca != cb {
+			t.Fatalf("city %q differs across equal-n registries: %+v vs %+v", name, ca, cb)
+		}
+		if ca.Lat < -60 || ca.Lat > 60 {
+			t.Fatalf("city %q latitude %f outside ±60", name, ca.Lat)
+		}
+		if ca.Lon <= -180 || ca.Lon > 180 {
+			t.Fatalf("city %q longitude %f outside (-180, 180]", name, ca.Lon)
+		}
+		if ca.UTCOffset < -12 || ca.UTCOffset > 12 {
+			t.Fatalf("city %q UTC offset %f out of range", name, ca.UTCOffset)
+		}
+	}
+	// Distinct sizes give distinct layouts: the registry is a pure function
+	// of n, so n belongs in the world id (via GenConfig.Cities).
+	c := SyntheticRegistry(25)
+	if a.MustGet("City-001") == c.MustGet("City-001") {
+		t.Fatal("different n produced identical city placement")
+	}
+	// Pairwise distances are nondegenerate: no two cities collapse onto the
+	// same point (zero distance would make propagation delays vanish).
+	names := a.Names()
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if DistanceKm(a.MustGet(names[i]), a.MustGet(names[j])) < 1 {
+				t.Fatalf("cities %s and %s coincide", names[i], names[j])
+			}
+		}
 	}
 }

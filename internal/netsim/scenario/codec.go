@@ -24,7 +24,7 @@ type Export struct {
 
 // Export snapshots the scenario into its serialized form (read-only; safe
 // on frozen worlds).
-func (s *SouthAfrica) Export() *Export {
+func (s *World) Export() *Export {
 	return &Export{
 		Topo:           s.Topo.Export(),
 		IXPName:        s.IXPName,
@@ -42,7 +42,7 @@ func (s *SouthAfrica) Export() *Export {
 // checked to reference known units so a corrupted payload cannot smuggle in
 // units the world cannot measure from. The result is unfrozen, exactly like
 // a fresh build.
-func Import(e *Export) (*SouthAfrica, error) {
+func Import(e *Export) (*World, error) {
 	if e == nil {
 		return nil, fmt.Errorf("scenario: import: nil export")
 	}
@@ -50,7 +50,7 @@ func Import(e *Export) (*SouthAfrica, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario: import: %w", err)
 	}
-	s := &SouthAfrica{
+	s := &World{
 		Topo:           t,
 		IXPName:        e.IXPName,
 		IXPPrefix:      e.IXPPrefix,
@@ -60,27 +60,8 @@ func Import(e *Export) (*SouthAfrica, error) {
 		Donors:         append([]Unit(nil), e.Donors...),
 		MLabServerASNs: append([]topo.ASN(nil), e.MLabServerASNs...),
 	}
-	if s.IXPName != "" {
-		if _, err := t.IXP(s.IXPName); err != nil {
-			return nil, fmt.Errorf("scenario: import: %w", err)
-		}
-	}
-	for _, u := range s.AllUnits() {
-		if _, err := s.UserPoP(u); err != nil {
-			return nil, fmt.Errorf("scenario: import: unit %s: %w", u, err)
-		}
-	}
-	for _, asn := range s.TreatedASNs {
-		if _, err := t.AS(asn); err != nil {
-			return nil, fmt.Errorf("scenario: import: treated: %w", err)
-		}
-	}
-	for _, lists := range [][]topo.ASN{s.ContentASNs, s.MLabServerASNs} {
-		for _, asn := range lists {
-			if _, err := t.AS(asn); err != nil {
-				return nil, fmt.Errorf("scenario: import: %w", err)
-			}
-		}
+	if err := s.validate("import"); err != nil {
+		return nil, err
 	}
 	return s, nil
 }

@@ -2,8 +2,9 @@ package scenario
 
 import (
 	"fmt"
-
-	"sisyphus/internal/netsim/topo"
+	"sort"
+	"strings"
+	"sync"
 )
 
 // Scenario ids for the artifact layer: every world the suite can build has
@@ -16,60 +17,87 @@ const (
 	TromboneEraID = "tromboneera"
 )
 
-// Build constructs the named scenario from scratch. It is the single
-// registry the artifact layer builds worlds through: the id is part of the
-// artifact key, so two consumers naming the same id share one build.
-func Build(id string) (*SouthAfrica, error) {
-	switch id {
-	case SouthAfricaID:
-		return BuildSouthAfrica()
-	case TromboneEraID:
-		return BuildTromboneEra()
-	default:
-		return nil, fmt.Errorf("scenario: unknown scenario id %q", id)
+// BuilderFunc constructs a world from scratch. Builders must be pure: two
+// calls return equal worlds, because the id is an artifact-key coordinate
+// and everyone naming it shares one build.
+type BuilderFunc func() (*World, error)
+
+// reg is the world registry: id → builder. Canned worlds self-register in
+// init; generated worlds register through RegisterGen when their spec is
+// first parsed. Guarded by a mutex because experiments Build concurrently
+// while a sweep driver may still be registering gen ids.
+var reg = struct {
+	sync.RWMutex
+	builders map[string]BuilderFunc
+}{builders: make(map[string]BuilderFunc)}
+
+// Register adds a world builder under id. Registering an empty id, a nil
+// builder, or a duplicate id panics: registration happens at init/startup
+// time, where a conflict is a programming error, not a runtime condition.
+func Register(id string, b BuilderFunc) {
+	if id == "" {
+		panic("scenario: Register with empty id")
 	}
+	if b == nil {
+		panic("scenario: Register with nil builder for " + id)
+	}
+	reg.Lock()
+	defer reg.Unlock()
+	if _, dup := reg.builders[id]; dup {
+		panic("scenario: duplicate world id " + id)
+	}
+	reg.builders[id] = b
 }
 
-// IDs lists the registered scenario ids.
-func IDs() []string { return []string{SouthAfricaID, TromboneEraID} }
-
-// Freeze marks the scenario immutable: the underlying topology freezes, so
-// subsequent Forks get copy-on-write clones that share the whole structure
-// until their first mutation. The artifact store calls this once after a
-// successful build, before any fork is handed out.
-func (s *SouthAfrica) Freeze() { s.Topo.Freeze() }
-
-// Frozen reports whether Freeze has been called.
-func (s *SouthAfrica) Frozen() bool { return s.Topo.Frozen() }
-
-// SizeBytes estimates the scenario's resident size for the artifact store's
-// byte bound: the topology dominates; the casting lists ride on a small flat
-// per-entry cost. An estimate, not an accounting — the LRU only needs
-// relative magnitudes.
-func (s *SouthAfrica) SizeBytes() int64 {
-	const perUnit = 40 // Unit struct + slice slot
-	const perASN = 8
-	n := s.Topo.SizeBytes()
-	n += int64(len(s.Treated)+len(s.Donors)) * perUnit
-	n += int64(len(s.ContentASNs)+len(s.TreatedASNs)+len(s.MLabServerASNs)) * perASN
-	return n
+// Build constructs the named world from scratch through the registry. It is
+// the single entry point the artifact layer builds worlds through: the id
+// is part of the artifact key, so two consumers naming the same id share
+// one build. Unknown ids error with the full known-id list plus the gen/
+// grammar, so a typo'd -scenario flag diagnoses itself.
+func Build(id string) (*World, error) {
+	reg.RLock()
+	b, ok := reg.builders[id]
+	reg.RUnlock()
+	if !ok {
+		hint := ""
+		if strings.HasPrefix(id, GenIDPrefix) {
+			hint = "; generated ids must be registered first by their gen: spec (RegisterGen / the -scenarios flag)"
+		}
+		return nil, fmt.Errorf("scenario: unknown scenario id %q (known: %s; generated worlds: %s%s)",
+			id, strings.Join(IDs(), ", "), GenGrammar, hint)
+	}
+	s, err := b()
+	if err != nil {
+		return nil, fmt.Errorf("scenario: build %s: %w", id, err)
+	}
+	if err := s.validate("build " + id); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
-// Fork returns an independent copy of the scenario: the topology is cloned
-// (so IXP joins and link flaps stay private to the copy) and every slice is
-// copied. On a frozen scenario the topology clone is pointer-cheap —
-// copy-on-write — so the fork costs only the small casting slices.
-// Required by the artifact store's copy-on-read rule.
-func (s *SouthAfrica) Fork() *SouthAfrica {
-	out := &SouthAfrica{
-		Topo:           s.Topo.Clone(),
-		IXPName:        s.IXPName,
-		IXPPrefix:      s.IXPPrefix,
-		ContentASNs:    append([]topo.ASN(nil), s.ContentASNs...),
-		Treated:        append([]Unit(nil), s.Treated...),
-		TreatedASNs:    append([]topo.ASN(nil), s.TreatedASNs...),
-		Donors:         append([]Unit(nil), s.Donors...),
-		MLabServerASNs: append([]topo.ASN(nil), s.MLabServerASNs...),
+// IDs lists the registered scenario ids, sorted — the two canned worlds
+// plus every generated world registered so far.
+func IDs() []string {
+	reg.RLock()
+	defer reg.RUnlock()
+	out := make([]string, 0, len(reg.builders))
+	for id := range reg.builders {
+		out = append(out, id)
 	}
+	sort.Strings(out)
 	return out
+}
+
+// Registered reports whether id has a registered builder.
+func Registered(id string) bool {
+	reg.RLock()
+	defer reg.RUnlock()
+	_, ok := reg.builders[id]
+	return ok
+}
+
+func init() {
+	Register(SouthAfricaID, BuildSouthAfrica)
+	Register(TromboneEraID, BuildTromboneEra)
 }

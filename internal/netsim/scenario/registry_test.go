@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestRegistryCannedWorldsRegistered(t *testing.T) {
+	for _, id := range []string{SouthAfricaID, TromboneEraID} {
+		if !Registered(id) {
+			t.Fatalf("canned world %q not registered", id)
+		}
+		s, err := Build(id)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", id, err)
+		}
+		if len(s.Treated) == 0 || len(s.Donors) == 0 {
+			t.Fatalf("Build(%q): empty casting", id)
+		}
+	}
+}
+
+func TestRegistryIDsSorted(t *testing.T) {
+	ids := IDs()
+	if !sort.StringsAreSorted(ids) {
+		t.Fatalf("IDs() not sorted: %v", ids)
+	}
+	has := func(want string) bool {
+		for _, id := range ids {
+			if id == want {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(SouthAfricaID) || !has(TromboneEraID) {
+		t.Fatalf("IDs() missing canned worlds: %v", ids)
+	}
+}
+
+func TestBuildUnknownIDErrorListsKnownAndGrammar(t *testing.T) {
+	_, err := Build("nosuch")
+	if err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	for _, want := range []string{SouthAfricaID, TromboneEraID, GenGrammar} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+	// An unregistered gen/ id additionally hints at registration.
+	_, err = Build(GenIDPrefix + "deadbeefdeadbeef")
+	if err == nil {
+		t.Fatal("unregistered gen id accepted")
+	}
+	if !strings.Contains(err.Error(), "registered first") {
+		t.Fatalf("gen-id error %q lacks the registration hint", err)
+	}
+}
+
+func TestRegisterRejectsBadInput(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	ok := func() (*World, error) { return BuildSouthAfrica() }
+	mustPanic("empty id", func() { Register("", ok) })
+	mustPanic("nil builder", func() { Register("x-nil-builder", nil) })
+	mustPanic("duplicate id", func() { Register(SouthAfricaID, ok) })
+}
+
+func TestRegisterNewIDBuilds(t *testing.T) {
+	// A registered custom world flows through Build, including validation.
+	Register("registry-test-world", BuildTromboneEra)
+	s, err := Build("registry-test-world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IXPName == "" {
+		t.Fatal("built world has no exchange")
+	}
+	// Builders that hand back broken castings are rejected by Build.
+	Register("registry-test-broken", func() (*World, error) {
+		s, err := BuildSouthAfrica()
+		if err != nil {
+			return nil, err
+		}
+		s.Treated = append(s.Treated, Unit{ASN: 64999, City: "Nowhere"})
+		return s, nil
+	})
+	if _, err := Build("registry-test-broken"); err == nil {
+		t.Fatal("world with an unmeasurable unit accepted")
+	}
+}

@@ -1,8 +1,6 @@
-// Package scenario builds the concrete simulated worlds the experiments
-// run on. The flagship is the South Africa scenario behind Table 1: the
-// ⟨ASN, city⟩ units the paper analyzed, a NAPAfrica-like exchange in
-// Johannesburg, domestic transit providers, content networks, donor access
-// networks that never join the exchange, and M-Lab server sites.
+// The two canned seed worlds: BuildSouthAfrica (the Table 1 world) and
+// BuildTromboneEra (the historical counterpart). Both self-register in the
+// world registry under their stable ids.
 package scenario
 
 import (
@@ -10,46 +8,6 @@ import (
 
 	"sisyphus/internal/netsim/topo"
 )
-
-// Unit is an ⟨ASN, city⟩ analysis unit.
-type Unit struct {
-	ASN  topo.ASN
-	City string
-}
-
-func (u Unit) String() string { return fmt.Sprintf("AS%d/%s", u.ASN, u.City) }
-
-// SouthAfrica is the built scenario.
-type SouthAfrica struct {
-	Topo *topo.Topology
-	// IXPName is the Johannesburg exchange ("NAPAfrica-JNB").
-	IXPName string
-	// IXPPrefix is the exchange's peering LAN prefix.
-	IXPPrefix string
-	// ContentASNs are the content networks users measure against; both are
-	// founding IXP members.
-	ContentASNs []topo.ASN
-	// Treated lists the Table 1 units whose ASes join the IXP mid-study.
-	Treated []Unit
-	// TreatedASNs is the deduplicated set of joining ASes.
-	TreatedASNs []topo.ASN
-	// Donors are access units whose ASes never join (the donor pool).
-	Donors []Unit
-	// MLabServerASNs host the Johannesburg M-Lab sites (distinct ASes so
-	// randomized assignment shifts AS paths).
-	MLabServerASNs []topo.ASN
-}
-
-// AllUnits returns treated then donor units.
-func (s *SouthAfrica) AllUnits() []Unit {
-	out := append([]Unit(nil), s.Treated...)
-	return append(out, s.Donors...)
-}
-
-// UserPoP returns the PoP a unit's users measure from.
-func (s *SouthAfrica) UserPoP(u Unit) (topo.PoPID, error) {
-	return s.Topo.FindPoP(u.ASN, u.City)
-}
 
 // Transit / backbone ASNs in the scenario.
 const (
@@ -65,7 +23,7 @@ const (
 // BuildSouthAfrica constructs the scenario topology. The IXP starts with
 // the content networks as members; access networks join later via
 // engine.EvJoinIXP (the treatment).
-func BuildSouthAfrica() (*SouthAfrica, error) {
+func BuildSouthAfrica() (*World, error) {
 	const ixpName = "NAPAfrica-JNB"
 	const ixpPrefix = "196.60.8."
 
@@ -181,7 +139,7 @@ func BuildSouthAfrica() (*SouthAfrica, error) {
 		}
 	}
 
-	s := &SouthAfrica{
+	s := &World{
 		Topo:        t,
 		IXPName:     ixpName,
 		IXPPrefix:   ixpPrefix,
@@ -213,7 +171,7 @@ func BuildSouthAfrica() (*SouthAfrica, error) {
 // in this world collapses RTT by two orders of magnitude, which is why the
 // "IXPs cut latency" belief formed; Table 1 measures the same intervention
 // after the low-hanging fruit was gone.
-func BuildTromboneEra() (*SouthAfrica, error) {
+func BuildTromboneEra() (*World, error) {
 	const ixpName = "NAPAfrica-JNB"
 	const ixpPrefix = "196.60.8."
 
@@ -290,7 +248,7 @@ func BuildTromboneEra() (*SouthAfrica, error) {
 	if _, err := t.JoinIXP(ixpName, BigContent); err != nil {
 		return nil, err
 	}
-	s := &SouthAfrica{
+	s := &World{
 		Topo:        t,
 		IXPName:     ixpName,
 		IXPPrefix:   ixpPrefix,

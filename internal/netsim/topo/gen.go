@@ -7,7 +7,10 @@ import (
 	"sisyphus/internal/netsim/geo"
 )
 
-// GenConfig controls random hierarchical topology generation.
+// GenConfig controls random hierarchical topology generation. It is the
+// canonical identity of a generated internet: together with the generation
+// seed it hashes into the scenario registry's gen/<cfghash> world ids, so
+// every field must be plain data and marshal deterministically.
 type GenConfig struct {
 	Tier1  int // clique of peering transit backbones
 	Tier2  int // regional transits, customers of 1-2 tier1s
@@ -19,7 +22,35 @@ type GenConfig struct {
 	MultihomeProb float64
 	// PeerProb is the probability two tier2s peer directly.
 	PeerProb float64
+	// Cities, when positive, generates over a synthetic registry of that
+	// many cities (geo.SyntheticRegistry) instead of the default world
+	// cities; it only applies when Generate is called with a nil registry.
+	Cities int
+	// IXP, when true, adds an exchange (GenIXPName) to the generated
+	// internet and makes joinability part of generation: every content AS
+	// gains a PoP in the exchange city and joins as a founding member, and
+	// the first Treated access ASes gain a PoP there so they can join
+	// mid-study (the treatment every experiment studies).
+	IXP bool
+	// IXPCity names the exchange city; "" picks the first city in sorted
+	// order. Only meaningful with IXP set.
+	IXPCity string
+	// Treated is how many access ASes (the first Treated by index) are
+	// guaranteed a PoP at the exchange, making them castable as treated
+	// units. Only meaningful with IXP set.
+	Treated int
 }
+
+// The generated exchange: every IXP-enabled generated internet hosts
+// exactly one, so the scenario layer can cast any generated world into the
+// common treatment shape without per-world naming.
+const (
+	// GenIXPName names the exchange Generate adds when cfg.IXP is set.
+	GenIXPName = "GenIX"
+	// GenIXPPrefix is the generated exchange's peering-LAN prefix (octet
+	// aligned, so the ixp matcher's boundary rule applies cleanly).
+	GenIXPPrefix = "10.99.0."
+)
 
 // DefaultGenConfig returns a modest Internet-like mix.
 func DefaultGenConfig() GenConfig {
@@ -33,7 +64,11 @@ func DefaultGenConfig() GenConfig {
 // tier1 = 1000+, tier2 = 2000+, access = 3000+, content = 4000+.
 func Generate(r *mathx.RNG, cfg GenConfig, reg *geo.Registry) (*Topology, error) {
 	if reg == nil {
-		reg = geo.DefaultRegistry()
+		if cfg.Cities > 0 {
+			reg = geo.SyntheticRegistry(cfg.Cities)
+		} else {
+			reg = geo.DefaultRegistry()
+		}
 	}
 	cities := reg.Names()
 	if len(cities) < 3 {
@@ -41,6 +76,19 @@ func Generate(r *mathx.RNG, cfg GenConfig, reg *geo.Registry) (*Topology, error)
 	}
 	if cfg.Tier1 < 1 || cfg.Tier2 < 1 || cfg.Access < 1 {
 		return nil, fmt.Errorf("topo: generation needs at least one AS per tier")
+	}
+	ixpCity := ""
+	if cfg.IXP {
+		if cfg.Treated < 0 || cfg.Treated > cfg.Access {
+			return nil, fmt.Errorf("topo: treated count %d outside [0, access=%d]", cfg.Treated, cfg.Access)
+		}
+		ixpCity = cfg.IXPCity
+		if ixpCity == "" {
+			ixpCity = cities[0]
+		}
+		if _, err := reg.Get(ixpCity); err != nil {
+			return nil, fmt.Errorf("topo: generation: %w", err)
+		}
 	}
 	b := NewBuilder(reg)
 
@@ -103,7 +151,15 @@ func Generate(r *mathx.RNG, cfg GenConfig, reg *geo.Registry) (*Topology, error)
 	for i := 0; i < cfg.Access; i++ {
 		asn := ASN(3000 + i)
 		city := pick()
-		b.AddAS(asn, fmt.Sprintf("Access-%d", i), Access, city)
+		// The first Treated access ASes are joinable: a second PoP at the
+		// exchange city (mirroring how the canned worlds home every treated
+		// AS in Johannesburg). Appended after the RNG draw, so IXP-off
+		// generation with the same seed draws identically.
+		popCities := []string{city}
+		if cfg.IXP && i < cfg.Treated && city != ixpCity {
+			popCities = append(popCities, ixpCity)
+		}
+		b.AddAS(asn, fmt.Sprintf("Access-%d", i), Access, popCities...)
 		up := r.Intn(cfg.Tier2)
 		_, cj := meetingPoint([]string{city}, tier2Cities[up])
 		b.Connect(asn, city, CustomerOf, tier2[up], cj,
@@ -119,6 +175,11 @@ func Generate(r *mathx.RNG, cfg GenConfig, reg *geo.Registry) (*Topology, error)
 	for i := 0; i < cfg.Content; i++ {
 		asn := ASN(4000 + i)
 		cs := pickN(2 + r.Intn(3))
+		// Content must be reachable over the exchange: guarantee a PoP in
+		// the exchange city (appended post-draw; see the access loop).
+		if cfg.IXP && !containsCity(cs, ixpCity) {
+			cs = append(cs, ixpCity)
+		}
 		b.AddAS(asn, fmt.Sprintf("Content-%d", i), Content, cs...)
 		up := r.Intn(cfg.Tier1)
 		ci, cj := meetingPoint(cs, tier1Cities[up])
@@ -132,7 +193,33 @@ func Generate(r *mathx.RNG, cfg GenConfig, reg *geo.Registry) (*Topology, error)
 		}
 	}
 
-	return b.Build()
+	if cfg.IXP {
+		b.AddIXP(GenIXPName, ixpCity, GenIXPPrefix)
+	}
+	t, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.IXP {
+		// Content networks are founding exchange members, in ASN order —
+		// deterministic, and no RNG draws after Build.
+		for i := 0; i < cfg.Content; i++ {
+			if _, err := t.JoinIXP(GenIXPName, ASN(4000+i)); err != nil {
+				return nil, fmt.Errorf("topo: generation: %w", err)
+			}
+		}
+	}
+	return t, nil
+}
+
+// containsCity reports whether cs contains city.
+func containsCity(cs []string, city string) bool {
+	for _, c := range cs {
+		if c == city {
+			return true
+		}
+	}
+	return false
 }
 
 // meetingPoint picks interconnection cities for two ASes: a shared city if

@@ -14,7 +14,7 @@ import (
 	"sisyphus/internal/probe"
 )
 
-func world(t *testing.T) (*scenario.SouthAfrica, *engine.Engine, *probe.Prober) {
+func world(t *testing.T) (*scenario.World, *engine.Engine, *probe.Prober) {
 	t.Helper()
 	s, err := scenario.BuildSouthAfrica()
 	if err != nil {

@@ -9,7 +9,7 @@ import (
 	"sisyphus/internal/netsim/topo"
 )
 
-func testWorld(t *testing.T) (*scenario.SouthAfrica, *engine.Engine, *Prober) {
+func testWorld(t *testing.T) (*scenario.World, *engine.Engine, *Prober) {
 	t.Helper()
 	s, err := scenario.BuildSouthAfrica()
 	if err != nil {
@@ -181,7 +181,7 @@ func TestProberDeterminism(t *testing.T) {
 	}
 }
 
-func mustWorld(t *testing.T) (*scenario.SouthAfrica, *engine.Engine) {
+func mustWorld(t *testing.T) (*scenario.World, *engine.Engine) {
 	t.Helper()
 	s, err := scenario.BuildSouthAfrica()
 	if err != nil {

@@ -1,0 +1,218 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"sisyphus/internal/experiments"
+	"sisyphus/internal/mathx"
+)
+
+// Dist summarizes one metric's distribution over the grid: moments and
+// quantiles over the non-NaN values. All fields are NaN (JSON null) when no
+// sample carried the metric. RMSE is sqrt(mean(x²)) — for a bias series
+// that is exactly the estimator's RMSE against truth.
+type Dist struct {
+	N                       int
+	Mean, RMSE              experiments.NullableFloat
+	P05, P25, P50, P75, P95 experiments.NullableFloat
+}
+
+// distOf computes a Dist over the non-NaN entries of xs.
+func distOf(xs []float64) Dist {
+	var vals []float64
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			vals = append(vals, x)
+		}
+	}
+	nan := experiments.NullableFloat(math.NaN())
+	d := Dist{N: len(vals), Mean: nan, RMSE: nan, P05: nan, P25: nan, P50: nan, P75: nan, P95: nan}
+	if len(vals) == 0 {
+		return d
+	}
+	var sq float64
+	for _, v := range vals {
+		sq += v * v
+	}
+	d.Mean = experiments.NullableFloat(mathx.Mean(vals))
+	d.RMSE = experiments.NullableFloat(math.Sqrt(sq / float64(len(vals))))
+	q := func(p float64) experiments.NullableFloat {
+		return experiments.NullableFloat(mathx.Quantile(vals, p))
+	}
+	d.P05, d.P25, d.P50, d.P75, d.P95 = q(0.05), q(0.25), q(0.5), q(0.75), q(0.95)
+	return d
+}
+
+// Group is the distributional summary for one ⟨experiment, scenario,
+// estimator⟩ over every surviving cell of the grid.
+type Group struct {
+	Experiment string
+	Scenario   string
+	Estimator  string
+	// Samples counts the pooled estimates behind the distributions.
+	Samples int
+	// Bias is the distribution of estimate − truth (ms); its RMSE is the
+	// estimator's RMSE over the grid.
+	Bias Dist
+	// PValue is the distribution of placebo p-values.
+	PValue Dist
+	// MeanCoverage averages per-sample panel coverage.
+	MeanCoverage float64
+}
+
+// Failure records one failed cell.
+type Failure struct {
+	Experiment string
+	Scenario   string
+	Seed       uint64
+	Err        string
+}
+
+// Report is the sweep's aggregate outcome: grid accounting plus one Group
+// per ⟨experiment, scenario, estimator⟩. Field order, slice order, and the
+// NaN→null convention make its JSON deterministic at any worker width.
+type Report struct {
+	Experiments []string
+	Scenarios   []string
+	Seeds       []uint64
+	// Cells = OKCells + len(Failures): the full grid size.
+	Cells    int
+	OKCells  int
+	Failures []Failure `json:",omitempty"`
+	Groups   []Group
+}
+
+// aggregate pools cell results into the report. Results arrive in
+// canonical cell order, so failure order — and, after the sort, group
+// order — is independent of scheduling.
+func aggregate(cfg GridConfig, results []CellResult) *Report {
+	rep := &Report{
+		Experiments: append([]string(nil), cfg.Experiments...),
+		Scenarios:   append([]string(nil), cfg.Scenarios...),
+		Seeds:       append([]uint64(nil), cfg.Seeds...),
+		Cells:       len(results),
+	}
+	type gkey struct{ exp, sc, est string }
+	type acc struct {
+		bias, p, cov []float64
+	}
+	accs := make(map[gkey]*acc)
+	var keys []gkey
+	for _, r := range results {
+		if r.Err != "" {
+			rep.Failures = append(rep.Failures, Failure{
+				Experiment: r.Experiment, Scenario: r.Scenario, Seed: r.Seed, Err: r.Err,
+			})
+			continue
+		}
+		rep.OKCells++
+		for _, s := range r.Samples {
+			k := gkey{r.Experiment, r.Scenario, s.Estimator}
+			a, ok := accs[k]
+			if !ok {
+				a = &acc{}
+				accs[k] = a
+				keys = append(keys, k)
+			}
+			a.bias = append(a.bias, float64(s.Bias))
+			a.p = append(a.p, float64(s.PValue))
+			a.cov = append(a.cov, s.Coverage)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.exp != b.exp {
+			return a.exp < b.exp
+		}
+		if a.sc != b.sc {
+			return a.sc < b.sc
+		}
+		return a.est < b.est
+	})
+	for _, k := range keys {
+		a := accs[k]
+		g := Group{
+			Experiment: k.exp, Scenario: k.sc, Estimator: k.est,
+			Samples: len(a.cov),
+			Bias:    distOf(a.bias),
+			PValue:  distOf(a.p),
+		}
+		if len(a.cov) > 0 {
+			g.MeanCoverage = mathx.Mean(a.cov)
+		}
+		rep.Groups = append(rep.Groups, g)
+	}
+	return rep
+}
+
+// Render prints the report as an aligned text table plus the failure list.
+func (r *Report) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Sweep: %d experiments × %d scenarios × %d seeds = %d cells (%d ok, %d failed)\n\n",
+		len(r.Experiments), len(r.Scenarios), len(r.Seeds), r.Cells, r.OKCells, len(r.Failures))
+
+	header := []string{"experiment", "scenario", "estimator", "n",
+		"bias mean", "bias RMSE", "bias p50", "p p05", "p p50", "p p95", "coverage"}
+	rows := [][]string{header}
+	nf := func(v experiments.NullableFloat, format string) string {
+		if v.IsNaN() {
+			return "-"
+		}
+		return fmt.Sprintf(format, float64(v))
+	}
+	for _, g := range r.Groups {
+		rows = append(rows, []string{
+			g.Experiment, g.Scenario, g.Estimator, fmt.Sprintf("%d", g.Samples),
+			nf(g.Bias.Mean, "%+.2f"), nf(g.Bias.RMSE, "%.2f"), nf(g.Bias.P50, "%+.2f"),
+			nf(g.PValue.P05, "%.3f"), nf(g.PValue.P50, "%.3f"), nf(g.PValue.P95, "%.3f"),
+			fmt.Sprintf("%.3f", g.MeanCoverage),
+		})
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for i, c := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for pad := len(c); pad < widths[i]; pad++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+		if ri == 0 {
+			var total int
+			for _, w := range widths {
+				total += w + 2
+			}
+			sb.WriteString(strings.Repeat("-", total))
+			sb.WriteByte('\n')
+		}
+	}
+	for _, f := range r.Failures {
+		fmt.Fprintf(&sb, "\nFAILED cell %s/%s seed %d: %s", f.Experiment, f.Scenario, f.Seed, firstLine(f.Err))
+	}
+	if len(r.Failures) > 0 {
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// firstLine truncates multi-line cell errors (panic stacks) for the text
+// report; the JSON report keeps them whole.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,228 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"sisyphus/internal/artifact"
+	"sisyphus/internal/netsim/scenario"
+	"sisyphus/internal/parallel"
+)
+
+// registerOnce guards the test-world registrations: the scenario registry
+// is process-global and Register panics on duplicates.
+func registerOnce(id string, b scenario.BuilderFunc) {
+	if !scenario.Registered(id) {
+		scenario.Register(id, b)
+	}
+}
+
+// testGenSpec is a deliberately small generated world so grid tests stay
+// fast: 8 access ASes (2 treated, 6 donors), 2 content networks.
+func testGenSpec() scenario.GenSpec {
+	sp := scenario.DefaultGenSpec()
+	sp.Config.Access = 8
+	sp.Config.Treated = 2
+	sp.Config.Content = 2
+	sp.Seed = 3
+	return sp
+}
+
+// smallGrid is the shared test grid: the canned Table 1 world plus a small
+// generated world, swept over a few seeds.
+func smallGrid(t *testing.T, pool parallel.Pool, store *artifact.Store) GridConfig {
+	t.Helper()
+	genID, err := scenario.RegisterGen(testGenSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return GridConfig{
+		Experiments: []string{"table1"},
+		Scenarios:   []string{scenario.SouthAfricaID, genID},
+		Seeds:       []uint64{1, 2, 3},
+		Pool:        pool,
+		Artifacts:   store,
+	}
+}
+
+// TestSweepDeterministicAcrossWidths: the report's JSON must be
+// bit-identical at any pool width — grid fan-out must never leak
+// scheduling into results.
+func TestSweepDeterministicAcrossWidths(t *testing.T) {
+	run := func(width int) []byte {
+		rep, err := Run(context.Background(), smallGrid(t, parallel.NewPool(width), artifact.NewStore()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	w1, w4 := run(1), run(4)
+	if string(w1) != string(w4) {
+		t.Fatalf("report differs between -workers 1 and 4:\n%s\nvs\n%s", w1, w4)
+	}
+}
+
+// TestSweepSharesWorldBuildsAcrossSeeds: every seed of a scenario column
+// must share one world (and one RIB) build — the world key is
+// seed-independent and the store singleflights it.
+func TestSweepSharesWorldBuildsAcrossSeeds(t *testing.T) {
+	store := artifact.NewStore()
+	cfg := smallGrid(t, parallel.NewPool(4), store)
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	per := store.PerKey()
+	for _, sc := range cfg.Scenarios {
+		for _, kind := range []string{"world", "rib"} {
+			k, err := artifact.NewKey(kind, sc, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, ok := per[k]
+			if !ok {
+				t.Fatalf("no store entry for %s", k.ID())
+			}
+			if st.Builds != 1 {
+				t.Fatalf("%s built %d times across %d seeds, want exactly 1", k.ID(), st.Builds, len(cfg.Seeds))
+			}
+		}
+	}
+}
+
+// TestSweepSurvivesFailingCell: a scenario whose world build fails turns
+// into per-cell failures; the rest of the grid completes and aggregates.
+func TestSweepSurvivesFailingCell(t *testing.T) {
+	registerOnce("sweep-test-broken", func() (*scenario.World, error) {
+		return nil, errors.New("injected build failure")
+	})
+	cfg := GridConfig{
+		Experiments: []string{"table1"},
+		Scenarios:   []string{scenario.SouthAfricaID, "sweep-test-broken"},
+		Seeds:       []uint64{1, 2},
+		Pool:        parallel.NewPool(4),
+		Artifacts:   artifact.NewStore(),
+	}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cells != 4 || rep.OKCells != 2 || len(rep.Failures) != 2 {
+		t.Fatalf("cells=%d ok=%d failed=%d, want 4/2/2", rep.Cells, rep.OKCells, len(rep.Failures))
+	}
+	for _, f := range rep.Failures {
+		if f.Scenario != "sweep-test-broken" {
+			t.Fatalf("healthy scenario %q reported failed: %+v", f.Scenario, f)
+		}
+		if !strings.Contains(f.Err, "injected build failure") {
+			t.Fatalf("failure lost its cause: %q", f.Err)
+		}
+	}
+	for _, g := range rep.Groups {
+		if g.Scenario != scenario.SouthAfricaID {
+			t.Fatalf("failed scenario produced a group: %+v", g)
+		}
+		if g.Samples == 0 {
+			t.Fatalf("surviving group has no samples: %+v", g)
+		}
+	}
+	if len(rep.Groups) == 0 {
+		t.Fatal("no groups from the surviving scenario")
+	}
+}
+
+// TestSweepSurvivesPanickingCell: a panic inside a cell is contained as
+// that cell's failure, never a crashed grid.
+func TestSweepSurvivesPanickingCell(t *testing.T) {
+	registerOnce("sweep-test-panic", func() (*scenario.World, error) {
+		panic("injected panic")
+	})
+	rep, err := Run(context.Background(), GridConfig{
+		Experiments: []string{"table1"},
+		Scenarios:   []string{"sweep-test-panic"},
+		Seeds:       []uint64{1},
+		Pool:        parallel.NewPool(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) != 1 || !strings.Contains(rep.Failures[0].Err, "injected panic") {
+		t.Fatalf("panic not captured as a cell failure: %+v", rep.Failures)
+	}
+}
+
+// TestSweepCellTimeout: a cell exceeding CellTimeout is reported failed
+// with the deadline error; the grid itself returns normally.
+func TestSweepCellTimeout(t *testing.T) {
+	rep, err := Run(context.Background(), GridConfig{
+		Experiments: []string{"table1"},
+		Scenarios:   []string{scenario.SouthAfricaID},
+		Seeds:       []uint64{1},
+		Pool:        parallel.NewPool(1),
+		CellTimeout: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) != 1 || !strings.Contains(rep.Failures[0].Err, context.DeadlineExceeded.Error()) {
+		t.Fatalf("timeout not captured as a cell failure: %+v", rep.Failures)
+	}
+}
+
+// TestSweepValidation: bad grids fail up front with typed errors, before
+// any cell runs.
+func TestSweepValidation(t *testing.T) {
+	base := func() GridConfig {
+		return GridConfig{
+			Experiments: []string{"table1"},
+			Scenarios:   []string{scenario.SouthAfricaID},
+			Seeds:       []uint64{1},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*GridConfig)
+		want   string
+	}{
+		{"no experiments", func(c *GridConfig) { c.Experiments = nil }, "at least one"},
+		{"no scenarios", func(c *GridConfig) { c.Scenarios = nil }, "at least one"},
+		{"no seeds", func(c *GridConfig) { c.Seeds = nil }, "at least one"},
+		{"unknown experiment", func(c *GridConfig) { c.Experiments = []string{"nosuch"} }, "unknown experiment"},
+		{"unknown scenario", func(c *GridConfig) { c.Scenarios = []string{"nosuch"} }, "unknown scenario"},
+		{"non-scenario-capable", func(c *GridConfig) { c.Experiments = []string{"confounding"} }, "does not take a scenario"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := base()
+			c.mutate(&cfg)
+			_, err := Run(context.Background(), cfg)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error = %v, want mention of %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestSweepCancellation: cancelling the grid context surfaces the context
+// error from Run itself (cells are not failures when the caller walked
+// away).
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, GridConfig{
+		Experiments: []string{"table1"},
+		Scenarios:   []string{scenario.SouthAfricaID},
+		Seeds:       []uint64{1, 2, 3},
+		Pool:        parallel.NewPool(2),
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
