@@ -10,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify verify-cache-off verify-warm-cache verify-sweep bench bench-stages bench-forks
+.PHONY: build test vet race verify verify-cache-off verify-warm-cache verify-sweep bench bench-stages bench-forks loadtest loadtest-baseline
 
 build:
 	$(GO) build ./...
@@ -99,3 +99,24 @@ bench-forks:
 	$(GO) test -run='^$$' -bench='^BenchmarkFork' -benchtime=1000x -timeout 10m . \
 		| $(GO) run ./cmd/benchjson -out BENCH_forks_new.json
 	$(GO) run ./cmd/benchjson -compare -threshold $(FORK_THRESHOLD) BENCH_sisyphus.json BENCH_forks_new.json
+
+# The serving-path regression gate: drive the sisyphusd handler in-process
+# with a warm store and a fixed request mix, then compare per-route
+# throughput and p99 latency against the committed BENCH_sisyphus.json
+# load section. benchjson -compare exits 1 when p99 rises or RPS falls by
+# more than the threshold; the generous default absorbs machine-to-machine
+# noise while still catching an accidental O(n) on the serving path.
+# `make loadtest-baseline` reruns the driver and folds fresh numbers into
+# BENCH_sisyphus.json for committing after a deliberate serving change.
+LOAD_DURATION ?= 5s
+LOAD_CLIENTS ?= 4
+LOAD_THRESHOLD ?= 4.0
+loadtest:
+	$(GO) run ./cmd/loadtest -duration $(LOAD_DURATION) -clients $(LOAD_CLIENTS) -out LOAD_new.json
+	rm -f BENCH_load_new.json
+	$(GO) run ./cmd/benchjson -merge-load LOAD_new.json -out BENCH_load_new.json
+	$(GO) run ./cmd/benchjson -compare -threshold $(LOAD_THRESHOLD) BENCH_sisyphus.json BENCH_load_new.json
+
+loadtest-baseline:
+	$(GO) run ./cmd/loadtest -duration $(LOAD_DURATION) -clients $(LOAD_CLIENTS) -out LOAD_new.json
+	$(GO) run ./cmd/benchjson -merge-load LOAD_new.json -out BENCH_sisyphus.json

@@ -8,6 +8,7 @@
 //
 //	go test -bench=. -benchmem . | benchjson -out BENCH_sisyphus.json
 //	benchjson -merge trace.jsonl -out BENCH_sisyphus.json
+//	benchjson -merge-load load.json -out BENCH_sisyphus.json
 //	benchjson -compare [-threshold 0.10] old.json new.json
 //
 // The second form folds a `sisyphus -trace` span log into an existing
@@ -15,11 +16,16 @@
 // rows under a "stages" key, so CI tracks pipeline stage timings next to
 // the micro-benchmarks. Stdin is not read in merge mode.
 //
-// The third form diffs two reports: it prints a per-benchmark ns/op delta
+// The third form folds a `loadtest` run (a JSON array of per-route rows)
+// into the report under a "load" key, so serving-path throughput and tail
+// latency live next to the micro-benchmarks they depend on.
+//
+// The fourth form diffs two reports: it prints a per-benchmark ns/op delta
 // table and exits non-zero if any benchmark present in both reports slowed
-// down by more than the -threshold fraction. Benchmarks only in one report
-// are listed as added/removed but never fail the comparison — renames and
-// new coverage are not regressions.
+// down by more than the -threshold fraction. Load rows present in both are
+// held to the same threshold on p99 latency (up) and throughput (down).
+// Entries only in one report are listed as added/removed but never fail
+// the comparison — renames and new coverage are not regressions.
 package main
 
 import (
@@ -55,6 +61,17 @@ type StageTiming struct {
 	Errors  int     `json:"errors,omitempty"`
 }
 
+// LoadResult is one request-class row from a `loadtest` run: throughput and
+// latency quantiles for a fixed request mix against a warm server.
+type LoadResult struct {
+	Name     string  `json:"name"`
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors,omitempty"`
+	RPS      float64 `json:"rps"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
 // Report is the emitted document.
 type Report struct {
 	Goos    string        `json:"goos,omitempty"`
@@ -63,6 +80,7 @@ type Report struct {
 	CPU     string        `json:"cpu,omitempty"`
 	Results []Result      `json:"results"`
 	Stages  []StageTiming `json:"stages,omitempty"`
+	Load    []LoadResult  `json:"load,omitempty"`
 }
 
 // parseLine parses a single "BenchmarkX-8  100  123 ns/op  45 B/op  6 allocs/op"
@@ -219,6 +237,41 @@ func merge(out, tracePath string) error {
 	return os.WriteFile(out, append(b, '\n'), 0o644)
 }
 
+// mergeLoad folds a loadtest output file (a JSON array of LoadResult rows)
+// into the report at out, preserving benchmark results and stage timings
+// already recorded there. Re-merging replaces the load section rather than
+// appending — the report holds one load run, the latest.
+func mergeLoad(out, loadPath string) error {
+	rep := Report{}
+	if b, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(b, &rep); err != nil {
+			return fmt.Errorf("%s: %w", out, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	b, err := os.ReadFile(loadPath)
+	if err != nil {
+		return err
+	}
+	var load []LoadResult
+	if err := json.Unmarshal(b, &load); err != nil {
+		return fmt.Errorf("%s: %w", loadPath, err)
+	}
+	for i, l := range load {
+		if l.Name == "" {
+			return fmt.Errorf("%s: load row %d has no name", loadPath, i)
+		}
+	}
+	sort.Slice(load, func(i, j int) bool { return load[i].Name < load[j].Name })
+	rep.Load = load
+	b, err = json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(b, '\n'), 0o644)
+}
+
 // readReport loads and decodes one JSON benchmark report.
 func readReport(path string) (Report, error) {
 	var rep Report
@@ -274,12 +327,71 @@ func compare(w io.Writer, oldRep, newRep Report, threshold float64) (regressed [
 			fmt.Fprintf(w, "%-50s %14.1f %14s   removed\n", r.Name, r.NsPerOp, "-")
 		}
 	}
+	regressed = append(regressed, compareLoad(w, oldRep.Load, newRep.Load, threshold)...)
+	return regressed
+}
+
+// compareLoad diffs the load sections of two reports. A row present in both
+// regresses when its p99 latency rises, or its throughput falls, by more
+// than threshold as a fraction of the old value — a server can get slower
+// at the tail without losing aggregate throughput, so both axes are held.
+// Rows only in one report are listed but never fail.
+func compareLoad(w io.Writer, oldLoad, newLoad []LoadResult, threshold float64) (regressed []string) {
+	if len(oldLoad) == 0 && len(newLoad) == 0 {
+		return nil
+	}
+	oldBy := make(map[string]LoadResult, len(oldLoad))
+	for _, l := range oldLoad {
+		oldBy[l.Name] = l
+	}
+	newBy := make(map[string]LoadResult, len(newLoad))
+	for _, l := range newLoad {
+		newBy[l.Name] = l
+	}
+	var names []string
+	for name := range oldBy {
+		if _, ok := newBy[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "\n%-30s %10s %10s %10s %10s %10s %10s\n",
+		"load class", "old rps", "new rps", "old p99", "new p99", "Δrps", "Δp99")
+	for _, name := range names {
+		o, n := oldBy[name], newBy[name]
+		dRPS, dP99 := 0.0, 0.0
+		if o.RPS > 0 {
+			dRPS = (n.RPS - o.RPS) / o.RPS
+		}
+		if o.P99Ms > 0 {
+			dP99 = (n.P99Ms - o.P99Ms) / o.P99Ms
+		}
+		mark := ""
+		if dP99 > threshold || -dRPS > threshold {
+			mark = "  REGRESSION"
+			regressed = append(regressed, "load:"+name)
+		}
+		fmt.Fprintf(w, "%-30s %10.1f %10.1f %9.2fms %9.2fms %+9.1f%% %+9.1f%%%s\n",
+			name, o.RPS, n.RPS, o.P99Ms, n.P99Ms, 100*dRPS, 100*dP99, mark)
+	}
+	for _, l := range newLoad {
+		if _, ok := oldBy[l.Name]; !ok {
+			fmt.Fprintf(w, "%-30s %10s %10.1f   added\n", l.Name, "-", l.RPS)
+		}
+	}
+	for _, l := range oldLoad {
+		if _, ok := newBy[l.Name]; !ok {
+			fmt.Fprintf(w, "%-30s %10.1f %10s   removed\n", l.Name, l.RPS, "-")
+		}
+	}
 	return regressed
 }
 
 func main() {
 	out := flag.String("out", "BENCH_sisyphus.json", "path for the JSON report")
 	mergeTrace := flag.String("merge", "", "fold a sisyphus -trace JSONL span log into the report instead of reading stdin")
+	mergeLoadFile := flag.String("merge-load", "", "fold a loadtest JSON output file into the report instead of reading stdin")
 	compareMode := flag.Bool("compare", false, "compare two reports (old.json new.json) and exit non-zero on regressions")
 	threshold := flag.Float64("threshold", 0.10, "with -compare, the ns/op slowdown fraction that counts as a regression")
 	flag.Parse()
@@ -311,6 +423,13 @@ func main() {
 	}
 	if *mergeTrace != "" {
 		if err := merge(*out, *mergeTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *mergeLoadFile != "" {
+		if err := mergeLoad(*out, *mergeLoadFile); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}

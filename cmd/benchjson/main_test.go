@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -182,6 +184,115 @@ func TestCompareImprovementsAndEqualPass(t *testing.T) {
 	var sb strings.Builder
 	if regressed := compare(&sb, oldRep, newRep, 0.10); len(regressed) != 0 {
 		t.Fatalf("regressed = %v, want none", regressed)
+	}
+}
+
+// TestMergeLoadPreservesAndReplaces: -merge-load folds load rows into an
+// existing report sorted by name, without disturbing benchmark results or
+// stage timings, and a second merge replaces rather than appends.
+func TestMergeLoadPreservesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	out := writeFile(t, dir, "bench.json", `{
+  "results": [{"name": "BenchmarkX-1", "iterations": 10, "ns_per_op": 123}],
+  "stages": [{"span": "table1/report", "count": 1, "total_ms": 2, "mean_ms": 2}]
+}`)
+	load := writeFile(t, dir, "load.json", `[
+  {"name": "query", "requests": 50, "rps": 10, "p50_ms": 1, "p99_ms": 5},
+  {"name": "experiment/mlab", "requests": 100, "rps": 20, "p50_ms": 0.5, "p99_ms": 2}
+]`)
+	for i := 0; i < 2; i++ {
+		if err := mergeLoad(out, load); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 || len(rep.Stages) != 1 {
+		t.Fatalf("merge-load disturbed bench rows or stages: %+v", rep)
+	}
+	if len(rep.Load) != 2 || rep.Load[0].Name != "experiment/mlab" || rep.Load[1].Name != "query" {
+		t.Fatalf("load rows not sorted by name: %+v", rep.Load)
+	}
+	if rep.Load[1].RPS != 10 || rep.Load[1].P99Ms != 5 {
+		t.Fatalf("load row values drifted: %+v", rep.Load[1])
+	}
+}
+
+func TestMergeLoadRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	cases := []struct{ name, content string }{
+		{"not json", "{broken"},
+		{"object not array", `{"name":"x"}`},
+		{"nameless row", `[{"requests": 5, "rps": 1}]`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			load := writeFile(t, dir, "load-"+strings.ReplaceAll(c.name, " ", "-")+".json", c.content)
+			if err := mergeLoad(out, load); err == nil {
+				t.Fatal("expected an error")
+			}
+		})
+	}
+	if err := mergeLoad(out, filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("missing load file did not error")
+	}
+}
+
+// TestCompareLoadRegressions holds both axes: a p99 rise and an RPS drop
+// each regress independently; added/removed rows never fail; bench rows
+// present only in the old report (the committed baseline vs a load-only
+// run) are listed as removed, not regressions.
+func TestCompareLoadRegressions(t *testing.T) {
+	oldRep := Report{
+		Results: []Result{{Name: "BenchmarkX-1", NsPerOp: 100}},
+		Load: []LoadResult{
+			{Name: "steady", RPS: 100, P99Ms: 10},
+			{Name: "slower-tail", RPS: 100, P99Ms: 10},
+			{Name: "lost-throughput", RPS: 100, P99Ms: 10},
+			{Name: "gone", RPS: 50, P99Ms: 5},
+		},
+	}
+	newRep := Report{
+		Load: []LoadResult{
+			{Name: "steady", RPS: 98, P99Ms: 10.5},        // within threshold
+			{Name: "slower-tail", RPS: 100, P99Ms: 16},    // +60% p99: regression
+			{Name: "lost-throughput", RPS: 60, P99Ms: 10}, // -40% rps: regression
+			{Name: "fresh", RPS: 10, P99Ms: 1},            // added: never fails
+		},
+	}
+	var sb strings.Builder
+	regressed := compare(&sb, oldRep, newRep, 0.25)
+	want := []string{"load:lost-throughput", "load:slower-tail"}
+	sort.Strings(regressed)
+	if !reflect.DeepEqual(regressed, want) {
+		t.Fatalf("regressed = %v, want %v", regressed, want)
+	}
+	out := sb.String()
+	for _, sub := range []string{"REGRESSION", "added", "removed", "gone", "fresh", "BenchmarkX-1"} {
+		if !strings.Contains(out, sub) {
+			t.Fatalf("output missing %q:\n%s", sub, out)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "steady") && strings.Contains(line, "REGRESSION") {
+			t.Fatalf("within-threshold load row flagged: %s", line)
+		}
+	}
+}
+
+func TestCompareLoadImprovementsPass(t *testing.T) {
+	oldRep := Report{Load: []LoadResult{{Name: "q", RPS: 100, P99Ms: 10}}}
+	newRep := Report{Load: []LoadResult{{Name: "q", RPS: 200, P99Ms: 2}}}
+	var sb strings.Builder
+	if regressed := compare(&sb, oldRep, newRep, 0.10); len(regressed) != 0 {
+		t.Fatalf("faster load run regressed: %v", regressed)
 	}
 }
 

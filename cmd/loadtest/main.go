@@ -1,0 +1,240 @@
+// Command loadtest drives the sisyphusd serving path in-process and emits
+// per-route throughput and latency quantiles as JSON. It exists so
+// `make loadtest` can gate serving-layer changes on a committed baseline
+// (via `benchjson -compare`) without standing up a network topology: the
+// server under test is the real serve.Server handler mounted on an
+// httptest listener, the clients are real HTTP clients, and the store is
+// warmed first so the numbers measure the serving path — routing, cache
+// lookup, response copy — not simulation time.
+//
+// Usage:
+//
+//	go run ./cmd/loadtest -duration 5s -clients 4 -out load.json
+//	go run ./cmd/benchjson -merge-load load.json -out BENCH_sisyphus.json
+//
+// The request mix is fixed: three cached experiment documents of different
+// sizes plus one causal query. Each worker walks the mix round-robin from
+// a shared counter, so the class ratio is stable regardless of client
+// count or scheduling.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sisyphus/internal/artifact"
+	"sisyphus/internal/parallel"
+	"sisyphus/internal/serve"
+)
+
+// loadRow is one emitted request-class row. The JSON shape matches
+// benchjson's LoadResult so -merge-load can fold the file straight into
+// BENCH_sisyphus.json.
+type loadRow struct {
+	Name     string  `json:"name"`
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors,omitempty"`
+	RPS      float64 `json:"rps"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+// reqClass is one request shape in the fixed mix.
+type reqClass struct {
+	name   string
+	method string
+	path   string
+	body   string
+}
+
+// defaultMix covers the serving surface: a small, a medium and a large
+// cached experiment document, plus the query endpoint (decode + compile +
+// cached response). Seeds are fixed so the warm phase populates every key
+// the measured phase will hit.
+func defaultMix() []reqClass {
+	return []reqClass{
+		{"experiment/mlab", http.MethodGet, "/experiment/mlab?seed=42", ""},
+		{"experiment/collider", http.MethodGet, "/experiment/collider?seed=42", ""},
+		{"experiment/table1", http.MethodGet, "/experiment/table1?seed=42", ""},
+		{"query", http.MethodPost, "/query", `{"treatment":"R","outcome":"L","hours":120,"seed":42}`},
+	}
+}
+
+type loadConfig struct {
+	duration time.Duration
+	clients  int
+	out      string
+}
+
+func validateLoadFlags(cfg loadConfig) error {
+	if cfg.duration <= 0 {
+		return errors.New("-duration must be positive")
+	}
+	if cfg.clients < 1 {
+		return errors.New("-clients must be at least 1")
+	}
+	if cfg.out == "" {
+		return errors.New("-out must not be empty")
+	}
+	return nil
+}
+
+// sample is one completed request: which class, how long, whether it failed.
+type sample struct {
+	class int
+	durMs float64
+	err   bool
+}
+
+// runLoad warms the store with one request per mix class, then runs
+// cfg.clients workers for cfg.duration against the in-process server and
+// aggregates latency quantiles per class. Any non-200 during the warm
+// phase aborts — a load test over a broken server measures nothing.
+func runLoad(cfg loadConfig, mix []reqClass) ([]loadRow, error) {
+	srv := serve.New(serve.Config{
+		Store: artifact.NewStore(),
+		Pool:  parallel.Pool{},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	do := func(c reqClass) (float64, error) {
+		var body io.Reader
+		if c.body != "" {
+			body = strings.NewReader(c.body)
+		}
+		req, err := http.NewRequest(c.method, ts.URL+c.path, body)
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		_, copyErr := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		durMs := float64(time.Since(start)) / float64(time.Millisecond)
+		if copyErr != nil {
+			return durMs, copyErr
+		}
+		if resp.StatusCode != http.StatusOK {
+			return durMs, fmt.Errorf("%s %s: status %d", c.method, c.path, resp.StatusCode)
+		}
+		return durMs, nil
+	}
+
+	// Warm phase: populate every cache key the measured phase will hit, so
+	// the timings below are serving-path cost, not first-build simulation.
+	for _, c := range mix {
+		if _, err := do(c); err != nil {
+			return nil, fmt.Errorf("warm %s: %w", c.name, err)
+		}
+	}
+
+	var next atomic.Int64
+	deadline := time.Now().Add(cfg.duration)
+	perClient := make([][]sample, cfg.clients)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.clients; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			var samples []sample
+			for time.Now().Before(deadline) {
+				idx := int(next.Add(1)-1) % len(mix)
+				durMs, err := do(mix[idx])
+				samples = append(samples, sample{class: idx, durMs: durMs, err: err != nil})
+			}
+			perClient[slot] = samples
+		}(i)
+	}
+	wg.Wait()
+
+	byClass := make([][]float64, len(mix))
+	errs := make([]int64, len(mix))
+	for _, samples := range perClient {
+		for _, s := range samples {
+			if s.err {
+				errs[s.class]++
+				continue
+			}
+			byClass[s.class] = append(byClass[s.class], s.durMs)
+		}
+	}
+	rows := make([]loadRow, 0, len(mix))
+	secs := cfg.duration.Seconds()
+	for i, c := range mix {
+		lats := byClass[i]
+		sort.Float64s(lats)
+		rows = append(rows, loadRow{
+			Name:     c.name,
+			Requests: int64(len(lats)) + errs[i],
+			Errors:   errs[i],
+			RPS:      float64(len(lats)) / secs,
+			P50Ms:    quantile(lats, 0.50),
+			P99Ms:    quantile(lats, 0.99),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows, nil
+}
+
+// quantile returns the nearest-rank q-quantile of sorted (ascending) lats;
+// 0 for an empty slice.
+func quantile(lats []float64, q float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(lats))) // nearest rank, 0-based
+	if idx >= len(lats) {
+		idx = len(lats) - 1
+	}
+	return lats[idx]
+}
+
+func main() {
+	duration := flag.Duration("duration", 5*time.Second, "measured phase length (after warm-up)")
+	clients := flag.Int("clients", 4, "concurrent client goroutines")
+	out := flag.String("out", "load.json", "path for the JSON load report")
+	flag.Parse()
+	cfg := loadConfig{duration: *duration, clients: *clients, out: *out}
+	if err := validateLoadFlags(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "loadtest:", err)
+		os.Exit(2)
+	}
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "loadtest: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+	rows, err := runLoad(cfg, defaultMix())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadtest:", err)
+		os.Exit(1)
+	}
+	for _, r := range rows {
+		fmt.Printf("%-25s %8d req %4d err %10.1f rps  p50 %7.2fms  p99 %7.2fms\n",
+			r.Name, r.Requests, r.Errors, r.RPS, r.P50Ms, r.P99Ms)
+	}
+	b, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadtest:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(cfg.out, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "loadtest:", err)
+		os.Exit(1)
+	}
+}

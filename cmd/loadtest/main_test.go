@@ -1,0 +1,102 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestValidateLoadFlags tables the startup rejections (exit 2 in main).
+func TestValidateLoadFlags(t *testing.T) {
+	ok := loadConfig{duration: time.Second, clients: 2, out: "load.json"}
+	cases := []struct {
+		name     string
+		mutate   func(*loadConfig)
+		contains string // empty = valid
+	}{
+		{"defaults valid", func(c *loadConfig) {}, ""},
+		{"zero duration", func(c *loadConfig) { c.duration = 0 }, "-duration"},
+		{"negative duration", func(c *loadConfig) { c.duration = -time.Second }, "-duration"},
+		{"zero clients", func(c *loadConfig) { c.clients = 0 }, "-clients"},
+		{"empty out", func(c *loadConfig) { c.out = "" }, "-out"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := ok
+			tc.mutate(&cfg)
+			err := validateLoadFlags(cfg)
+			if tc.contains == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.contains) {
+				t.Errorf("error %v does not mention %q", err, tc.contains)
+			}
+		})
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	lats := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := quantile(lats, 0.50); got != 6 {
+		t.Errorf("p50 = %v, want 6", got)
+	}
+	if got := quantile(lats, 0.99); got != 10 {
+		t.Errorf("p99 = %v, want 10", got)
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	if got := quantile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("singleton p99 = %v, want 7", got)
+	}
+}
+
+// TestRunLoadShort drives the full warm-then-measure path for a fraction of
+// a second: every mix class must produce a row with at least one successful
+// request and a sane latency ordering. This is the smoke that keeps the
+// driver honest between full `make loadtest` runs.
+func TestRunLoadShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations to warm the store")
+	}
+	mix := defaultMix()
+	rows, err := runLoad(loadConfig{duration: 300 * time.Millisecond, clients: 2, out: "unused"}, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(mix) {
+		t.Fatalf("got %d rows, want %d: %+v", len(rows), len(mix), rows)
+	}
+	for _, r := range rows {
+		if r.Requests < 1 {
+			t.Errorf("%s: no requests completed", r.Name)
+		}
+		if r.Errors != 0 {
+			t.Errorf("%s: %d errored requests against a warm in-process server", r.Name, r.Errors)
+		}
+		if r.P50Ms > r.P99Ms {
+			t.Errorf("%s: p50 %.3fms > p99 %.3fms", r.Name, r.P50Ms, r.P99Ms)
+		}
+		if r.RPS <= 0 {
+			t.Errorf("%s: RPS = %v", r.Name, r.RPS)
+		}
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1].Name >= rows[i].Name {
+			t.Fatalf("rows not sorted by name: %q before %q", rows[i-1].Name, rows[i].Name)
+		}
+	}
+}
+
+// TestRunLoadWarmFailure: a mix entry the server rejects must abort during
+// the warm phase with a named error, not silently measure garbage.
+func TestRunLoadWarmFailure(t *testing.T) {
+	bad := []reqClass{{"bogus", "GET", "/experiment/atlantis?seed=1", ""}}
+	_, err := runLoad(loadConfig{duration: 100 * time.Millisecond, clients: 1, out: "unused"}, bad)
+	if err == nil || !strings.Contains(err.Error(), "warm bogus") {
+		t.Fatalf("err = %v, want warm-phase failure naming the class", err)
+	}
+}

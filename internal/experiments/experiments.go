@@ -115,17 +115,12 @@ func (e Experiment) Header() string {
 // makes `-scenario`/`-sweep` validation a typed refusal instead of a wrong
 // answer on the wrong world.
 func (e Experiment) OptionsForScenario(id string) (Options, error) {
-	switch o := e.Defaults.(type) {
-	case Table1Config:
-		o.Scenario = id
-		return o, nil
-	case ChaosOptions:
-		o.Scenario = id
-		return o, nil
-	default:
+	o, err := OptionsWithScenario(e.Defaults, id)
+	if err != nil {
 		return nil, fmt.Errorf("experiments: %s does not take a scenario (scenario-capable: %s)",
 			e.ID, strings.Join(ScenarioCapableIDs(), ", "))
 	}
+	return o, nil
 }
 
 // ScenarioCapableIDs lists the experiments whose options accept a scenario

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+)
+
+// OptionsFromJSON decodes per-experiment options from a JSON document into
+// the experiment's registered typed options, starting from its defaults:
+// fields the document omits keep their default values, so a caller can turn
+// one knob without restating the rest. It is the single typed decode path
+// shared by every non-Go front end — the HTTP serving layer's ?opts=
+// parameter today, config files tomorrow — so per-experiment parsing can
+// never fork per consumer.
+//
+// The decode is strict: unknown fields, trailing garbage, and type
+// mismatches are errors, and an experiment registered without options
+// rejects any document but JSON null. Fields tagged `json:"-"`
+// (Table1Config.Scenario, which is addressed by the scenario coordinate,
+// not the options document) cannot be set this way by construction.
+func OptionsFromJSON(id string, raw []byte) (Options, error) {
+	e, err := Get(id)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := bytes.TrimSpace(raw)
+	if e.Defaults == nil {
+		if len(trimmed) == 0 || string(trimmed) == "null" {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("experiments: %s takes no options, got %q", id, truncateForErr(trimmed))
+	}
+	if len(trimmed) == 0 || string(trimmed) == "null" {
+		return e.Defaults, nil
+	}
+	// Decode into a fresh value of the registered options' dynamic type,
+	// pre-filled with the defaults. reflect.New gives the pointer the JSON
+	// decoder needs; the registered type always implements Options by value,
+	// so the dereferenced result converts back without a second check.
+	pv := reflect.New(reflect.TypeOf(e.Defaults))
+	pv.Elem().Set(reflect.ValueOf(e.Defaults))
+	dec := json.NewDecoder(bytes.NewReader(trimmed))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(pv.Interface()); err != nil {
+		return nil, fmt.Errorf("experiments: %s options: %w", id, err)
+	}
+	// One JSON value and nothing after it: "{}{}", "{} 1" are malformed
+	// documents, not options followed by an ignorable tail.
+	if dec.More() {
+		return nil, fmt.Errorf("experiments: %s options: trailing data after JSON document", id)
+	}
+	return pv.Elem().Interface().(Options), nil
+}
+
+// truncateForErr keeps hostile or enormous documents from flooding error
+// text.
+func truncateForErr(b []byte) string {
+	const max = 80
+	if len(b) > max {
+		return string(b[:max]) + "…"
+	}
+	return string(b)
+}
+
+// OptionsWithScenario retargets typed options at the named world, for the
+// experiments whose options carry a scenario id (table1, chaos). Non-
+// scenario-capable options refuse with the capable list — the same typed
+// refusal OptionsForScenario gives for defaults, shared here so the CLI's
+// -scenario flag and the serving layer's ?scenario= parameter cannot drift.
+func OptionsWithScenario(o Options, id string) (Options, error) {
+	switch t := o.(type) {
+	case Table1Config:
+		t.Scenario = id
+		return t, nil
+	case ChaosOptions:
+		t.Scenario = id
+		return t, nil
+	default:
+		return nil, fmt.Errorf("experiments: %T does not take a scenario (scenario-capable: %s)",
+			o, strings.Join(ScenarioCapableIDs(), ", "))
+	}
+}

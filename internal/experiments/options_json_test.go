@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestOptionsFromJSONRoundTrip pins the decode path against every
+// registered experiment: the marshaled defaults must decode back equal, so
+// a client can GET an options shape, edit one knob, and send it back.
+func TestOptionsFromJSONRoundTrip(t *testing.T) {
+	for _, e := range All() {
+		if e.Defaults == nil {
+			continue
+		}
+		t.Run(e.ID, func(t *testing.T) {
+			raw, err := json.Marshal(e.Defaults)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := OptionsFromJSON(e.ID, raw)
+			if err != nil {
+				t.Fatalf("decoding marshaled defaults: %v", err)
+			}
+			if !reflect.DeepEqual(got, e.Defaults) {
+				t.Errorf("round trip drifted: got %+v, want %+v", got, e.Defaults)
+			}
+		})
+	}
+}
+
+// TestOptionsFromJSONPartial checks that an options document only needs the
+// knobs it turns: omitted fields keep the registered defaults.
+func TestOptionsFromJSONPartial(t *testing.T) {
+	got, err := OptionsFromJSON("confounding", []byte(`{"Hours": 123}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(HorizonOptions).Hours != 123 {
+		t.Errorf("Hours = %d, want 123", got.(HorizonOptions).Hours)
+	}
+
+	// table1 has many fields; setting one must leave the rest at defaults.
+	def, err := Get("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = OptionsFromJSON("table1", []byte(`{"Weeks": 9}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := def.Defaults.(Table1Config)
+	want.Weeks = 9
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("partial decode drifted from defaults: got %+v, want %+v", got, want)
+	}
+}
+
+// TestOptionsFromJSONErrors tables the strictness contract.
+func TestOptionsFromJSONErrors(t *testing.T) {
+	cases := []struct {
+		name, id, raw, contains string
+	}{
+		{"unknown experiment", "nope", `{}`, "unknown experiment"},
+		{"unknown field", "confounding", `{"Bogus": 1}`, "Bogus"},
+		{"wrong type", "confounding", `{"Hours": "ten"}`, "Hours"},
+		{"trailing data", "confounding", `{} {}`, "trailing data"},
+		{"array not object", "confounding", `[1,2]`, "confounding options"},
+		{"options on optionless", "rootcause", `{"Hours": 5}`, "takes no options"},
+		{"scenario field is unreachable", "table1", `{"Scenario": "x"}`, "Scenario"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := OptionsFromJSON(tc.id, []byte(tc.raw))
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			if !strings.Contains(err.Error(), tc.contains) {
+				t.Errorf("error %q does not mention %q", err, tc.contains)
+			}
+		})
+	}
+}
+
+// TestOptionsFromJSONEmpty: an absent or null document means "registered
+// defaults" — including for experiments that take no options at all.
+func TestOptionsFromJSONEmpty(t *testing.T) {
+	for _, raw := range []string{"", "  ", "null"} {
+		got, err := OptionsFromJSON("confounding", []byte(raw))
+		if err != nil {
+			t.Fatalf("%q: %v", raw, err)
+		}
+		if !reflect.DeepEqual(got, registry["confounding"].Defaults) {
+			t.Errorf("%q: got %+v, want registered defaults", raw, got)
+		}
+		if got, err := OptionsFromJSON("rootcause", []byte(raw)); err != nil || got != nil {
+			t.Errorf("%q on optionless experiment: got (%v, %v), want (nil, nil)", raw, got, err)
+		}
+	}
+}
+
+// TestOptionsWithScenario pins the shared retargeting helper the CLI's
+// -scenario flag and the server's ?scenario= parameter both ride.
+func TestOptionsWithScenario(t *testing.T) {
+	o, err := OptionsWithScenario(registry["table1"].Defaults, "gen/abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.(Table1Config).Scenario != "gen/abc" {
+		t.Errorf("table1 scenario = %q, want gen/abc", o.(Table1Config).Scenario)
+	}
+	o, err = OptionsWithScenario(registry["chaos"].Defaults, "trombone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.(ChaosOptions).Scenario != "trombone" {
+		t.Errorf("chaos scenario = %q, want trombone", o.(ChaosOptions).Scenario)
+	}
+	if _, err := OptionsWithScenario(HorizonOptions{}, "southafrica"); err == nil ||
+		!strings.Contains(err.Error(), "scenario-capable") {
+		t.Errorf("non-capable options: err = %v, want the scenario-capable list", err)
+	}
+}

@@ -67,6 +67,8 @@ type Recorder struct {
 
 	mu       sync.Mutex
 	spans    []Span
+	dropped  int64
+	maxSpans int
 	counters map[metricKey]int64
 	gauges   map[metricKey]float64
 }
@@ -166,7 +168,45 @@ func (s *ActiveSpan) End(err error) {
 	}
 	s.rec.mu.Lock()
 	s.rec.spans = append(s.rec.spans, sp)
+	// Amortized ring behaviour for bounded recorders: grow to twice the
+	// bound, then compact to the most recent max in one copy, so appends
+	// stay O(1) amortized and memory stays O(max).
+	if s.rec.maxSpans > 0 && len(s.rec.spans) > 2*s.rec.maxSpans {
+		kept := s.rec.spans[len(s.rec.spans)-s.rec.maxSpans:]
+		s.rec.dropped += int64(len(s.rec.spans) - s.rec.maxSpans)
+		s.rec.spans = append(s.rec.spans[:0], kept...)
+	}
 	s.rec.mu.Unlock()
+}
+
+// LimitSpans bounds the recorder's span log: once more than roughly twice n
+// spans have accumulated, only the most recent n survive (older spans are
+// counted as dropped, reported by DroppedSpans). Unbounded recorders — the
+// default, what a single CLI run wants — keep everything. Long-running
+// servers set a bound so the trace buffer cannot grow without limit.
+// Passing n <= 0 removes the bound.
+func (r *Recorder) LimitSpans(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.maxSpans = n
+	if n > 0 && len(r.spans) > n {
+		kept := r.spans[len(r.spans)-n:]
+		r.dropped += int64(len(r.spans) - n)
+		r.spans = append(r.spans[:0], kept...)
+	}
+	r.mu.Unlock()
+}
+
+// DroppedSpans reports how many spans a bounded recorder has discarded.
+func (r *Recorder) DroppedSpans() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Add increments the named counter in the context's scope. No-op without a

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"reflect"
 	"strings"
 	"sync"
@@ -215,5 +216,81 @@ func TestConcurrentRecording(t *testing.T) {
 	}
 	if got := rec.Metrics()[""]["n"]; got != workers*each {
 		t.Fatalf("counter = %v, want %d", got, workers*each)
+	}
+}
+
+// TestLimitSpansRing pins the amortized ring a long-running server relies
+// on: a bounded recorder grows to at most twice the bound, compacts to the
+// most recent max, and counts every discarded span.
+func TestLimitSpansRing(t *testing.T) {
+	rec := NewRecorder()
+	rec.LimitSpans(10)
+	ctx := Scoped(With(context.Background(), rec), "srv")
+	emit := func(n int, prefix string) {
+		for i := 0; i < n; i++ {
+			sp := StartSpan(ctx, fmt.Sprintf("%s%d", prefix, i))
+			sp.End(nil)
+		}
+	}
+	emit(20, "a") // 20 = 2*max: compaction triggers on the append *past* 2*max
+	if got := len(rec.Spans()); got != 20 {
+		t.Fatalf("at exactly 2*max: %d spans, want 20 (compaction is amortized, not eager)", got)
+	}
+	if rec.DroppedSpans() != 0 {
+		t.Fatalf("dropped %d before crossing the bound", rec.DroppedSpans())
+	}
+	emit(1, "b")
+	spans := rec.Spans()
+	if len(spans) != 10 {
+		t.Fatalf("after compaction: %d spans, want 10", len(spans))
+	}
+	if rec.DroppedSpans() != 11 {
+		t.Fatalf("DroppedSpans = %d, want 11 (21 recorded - 10 kept)", rec.DroppedSpans())
+	}
+	// The survivors are the most recent 10, in order, ending with the
+	// span that triggered compaction.
+	if spans[0].Name != "a11" || spans[9].Name != "b0" {
+		t.Fatalf("wrong survivors: first %q last %q, want a11..b0", spans[0].Name, spans[9].Name)
+	}
+	// Memory stays O(max) across sustained load.
+	emit(100, "c")
+	if got := len(rec.Spans()); got > 20 {
+		t.Fatalf("sustained load grew the buffer to %d spans (bound 10)", got)
+	}
+}
+
+// TestLimitSpansImmediateTrim: lowering the bound below the current length
+// trims right away, and n <= 0 removes the bound entirely.
+func TestLimitSpansImmediateTrim(t *testing.T) {
+	rec := NewRecorder()
+	ctx := Scoped(With(context.Background(), rec), "srv")
+	for i := 0; i < 8; i++ {
+		sp := StartSpan(ctx, fmt.Sprintf("s%d", i))
+		sp.End(nil)
+	}
+	rec.LimitSpans(3)
+	spans := rec.Spans()
+	if len(spans) != 3 || spans[0].Name != "s5" || spans[2].Name != "s7" {
+		t.Fatalf("immediate trim kept %d spans (first %q), want the most recent 3", len(spans), spans[0].Name)
+	}
+	if rec.DroppedSpans() != 5 {
+		t.Fatalf("DroppedSpans = %d, want 5", rec.DroppedSpans())
+	}
+	rec.LimitSpans(0) // unbound again
+	for i := 0; i < 50; i++ {
+		sp := StartSpan(ctx, "free")
+		sp.End(nil)
+	}
+	if got := len(rec.Spans()); got != 53 {
+		t.Fatalf("unbounded recorder kept %d spans, want 53", got)
+	}
+	if rec.DroppedSpans() != 5 {
+		t.Fatalf("unbinding changed the drop count: %d", rec.DroppedSpans())
+	}
+	// Nil recorder: both entry points are no-ops.
+	var nilRec *Recorder
+	nilRec.LimitSpans(4)
+	if nilRec.DroppedSpans() != 0 {
+		t.Fatal("nil recorder reported drops")
 	}
 }

@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"testing"
+
+	"sisyphus/internal/experiments"
+	"sisyphus/internal/netsim/scenario"
+)
+
+// FuzzQueryDecode throws hostile input at everything the server parses
+// before it agrees to run a simulation: the POST /query body (decode plus
+// compile — dag parsing, identification, knob validation) and the
+// GET /experiment query-parameter parsers (seed, workers, scenario tokens
+// including gen: specs). The contract under fuzz is the 4xx contract: any
+// outcome is an error value or a success, never a panic, and compilation
+// of arbitrary graphs stays cheap (node cap, adjustment search limit).
+func FuzzQueryDecode(f *testing.F) {
+	seeds := []struct {
+		body, seed, scen string
+	}{
+		{`{"treatment":"R","outcome":"L"}`, "42", "southafrica"},
+		{`{"treatment":"R","outcome":"L","adjustment":"auto","hours":1500,"bins":10,"seed":7}`, "0", "trombone"},
+		{`{"treatment":"R","outcome":"L","adjustment":["C"],"scenario":"southafrica"}`, "18446744073709551615", "gen:access=10+treated=2+seed=3"},
+		{`{"graph":"U [latent]; U -> R; U -> L; R -> L","treatment":"R","outcome":"L"}`, "-1", "gen:"},
+		{`{"graph":"C -> R; C -> L; R -> L; hour -> C","treatment":"C","outcome":"L","adjustment":["hour"]}`, "007", "gen:bogus"},
+		{`{"treatment":"R","outcome":"R","seed":18446744073709551616}`, "42x", "gen:access=-1"},
+		{`{"treatment":`, "9223372036854775808", "atlantis"},
+		{`[]`, "", "gen:tier1=0+tier2=0+access=0"},
+		{`{"treatment":"R","outcome":"L"} {"x":1}`, "0x10", "GEN:access=1"},
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s.body), s.seed, s.scen)
+	}
+	f.Fuzz(func(t *testing.T, body []byte, seedParam, scenParam string) {
+		if q, err := experiments.DecodeCausalQuery(body); err == nil {
+			// A decodable document must compile without panicking; both
+			// verdicts (plan or typed error) are legal.
+			_, _ = experiments.CompileCausalQuery(q)
+		}
+		_, _ = parseSeed(seedParam)
+		var s Server
+		_, _ = s.parseWorkers(seedParam)
+		// Scenario tokens resolve ids and gen: specs; hostile specs must be
+		// typed errors. Resolution registers (never builds) worlds, so this
+		// is cheap even when the spec is valid.
+		_, _ = scenario.ResolveID(scenParam)
+	})
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector is compiled in; the full
+// golden-equivalence sweep restricts to fast experiments under its ~5-20x
+// instrumentation overhead (the full suite is raced by the experiments
+// package's own golden tests).
+const raceEnabled = true
