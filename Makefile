@@ -55,19 +55,20 @@ verify-warm-cache:
 	grep -qE ' [1-9][0-9]* corrupt' $$dir/corrupt.err
 
 # The sweep-driver determinism gate, through the real CLI: one binary runs
-# the same small grid — the canned Table 1 world plus a generated internet,
-# four seeds each — at two worker widths, and the JSON reports must be
-# byte-identical. Worker width is the scheduling knob most likely to leak
-# into aggregation order; cmp holds the distributional report to exactly
-# the same bytes regardless.
+# the same grid — four experiments (Table 1 plus three of the newly
+# scenario-capable runners) over the canned Table 1 world plus a generated
+# internet, four seeds each — at two worker widths, and the JSON reports
+# must be byte-identical. Worker width is the scheduling knob most likely
+# to leak into aggregation order; cmp holds the distributional report to
+# exactly the same bytes regardless.
 verify-sweep:
 	set -eu; dir=$$(mktemp -d /tmp/sisyphus-sweep.XXXXXX); \
 	trap 'rm -rf "$$dir"' EXIT; \
 	$(GO) build -o $$dir/sisyphus ./cmd/sisyphus; \
-	$$dir/sisyphus -sweep -experiments table1 \
+	$$dir/sisyphus -sweep -experiments table1,did,exposure,rootcause \
 		-scenarios 'southafrica,gen:access=10+treated=2+seed=3' \
 		-seeds 1..4 -workers 1 -json >$$dir/w1.json; \
-	$$dir/sisyphus -sweep -experiments table1 \
+	$$dir/sisyphus -sweep -experiments table1,did,exposure,rootcause \
 		-scenarios 'southafrica,gen:access=10+treated=2+seed=3' \
 		-seeds 1..4 -workers 4 -json >$$dir/w4.json; \
 	cmp $$dir/w1.json $$dir/w4.json

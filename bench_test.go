@@ -40,7 +40,7 @@ func BenchmarkTable1IXPStudy(b *testing.B) {
 // (naive vs stratified vs regression vs IPW vs ground truth).
 func BenchmarkConfounderAdjustment(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunConfounding(context.Background(), parallel.Pool{}, uint64(i), 400); err != nil {
+		if _, err := experiments.RunConfounding(context.Background(), parallel.Pool{}, uint64(i), experiments.WorldOptions{Hours: 400}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -67,7 +67,7 @@ func BenchmarkCellularConfounding(b *testing.B) {
 // BenchmarkMLabRandomization regenerates the M-Lab randomization contrast.
 func BenchmarkMLabRandomization(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunMLab(context.Background(), parallel.Pool{}, uint64(i), 400); err != nil {
+		if _, err := experiments.RunMLab(context.Background(), parallel.Pool{}, uint64(i), experiments.WorldOptions{Hours: 400}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -76,7 +76,7 @@ func BenchmarkMLabRandomization(b *testing.B) {
 // BenchmarkInstrumentalVariable regenerates the valid/invalid IV contrast.
 func BenchmarkInstrumentalVariable(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunInstrument(context.Background(), parallel.Pool{}, uint64(i), 500); err != nil {
+		if _, err := experiments.RunInstrument(context.Background(), parallel.Pool{}, uint64(i), experiments.WorldOptions{Hours: 500}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -85,7 +85,7 @@ func BenchmarkInstrumentalVariable(b *testing.B) {
 // BenchmarkCounterfactual regenerates the abduction-vs-replay comparison.
 func BenchmarkCounterfactual(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunCounterfactual(context.Background(), parallel.Pool{}, uint64(i), 600); err != nil {
+		if _, err := experiments.RunCounterfactual(context.Background(), parallel.Pool{}, uint64(i), experiments.WorldOptions{Hours: 600}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -94,7 +94,7 @@ func BenchmarkCounterfactual(b *testing.B) {
 // BenchmarkExposureVsImpact regenerates the Xaminer-box cable-cut sweep.
 func BenchmarkExposureVsImpact(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunExposure(context.Background(), parallel.Pool{}, uint64(i)); err != nil {
+		if _, err := experiments.RunExposure(context.Background(), parallel.Pool{}, uint64(i), experiments.ExposureOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -186,6 +186,40 @@ func BenchmarkSweepGrid(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rep, err := sweep.Run(context.Background(), sweep.GridConfig{
 			Experiments: []string{"table1"},
+			Scenarios:   []string{scenario.SouthAfricaID, genID},
+			Seeds:       []uint64{1, 2, 3, 4},
+			Pool:        parallel.Pool{},
+			Artifacts:   artifact.NewStore(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Failures) != 0 {
+			b.Fatalf("sweep cells failed: %+v", rep.Failures)
+		}
+	}
+}
+
+// BenchmarkSweepGridWide runs the full-breadth grid the scenario-generic
+// experiment layer unlocked: Table 1 plus three of the newly
+// scenario-capable runners (did, exposure, rootcause) over both worlds.
+// did shares table1's campaign artifact per ⟨scenario, seed⟩, so the wide
+// grid's marginal cost over BenchmarkSweepGrid is mostly the extra
+// analysis — the number that justifies sweeping the widened set by default.
+func BenchmarkSweepGridWide(b *testing.B) {
+	genID, err := scenario.RegisterGen(func() scenario.GenSpec {
+		sp := scenario.DefaultGenSpec()
+		sp.Config.Access = 10
+		sp.Config.Treated = 2
+		sp.Seed = 3
+		return sp
+	}())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		rep, err := sweep.Run(context.Background(), sweep.GridConfig{
+			Experiments: []string{"table1", "did", "exposure", "rootcause"},
 			Scenarios:   []string{scenario.SouthAfricaID, genID},
 			Seeds:       []uint64{1, 2, 3, 4},
 			Pool:        parallel.Pool{},
@@ -520,7 +554,7 @@ func BenchmarkSVD(b *testing.B) {
 // worlds per iteration).
 func BenchmarkRootCauseReplay(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunRootCause(context.Background(), parallel.Pool{}, uint64(i)); err != nil {
+		if _, err := experiments.RunRootCause(context.Background(), parallel.Pool{}, uint64(i), experiments.RootCauseOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -529,7 +563,7 @@ func BenchmarkRootCauseReplay(b *testing.B) {
 // BenchmarkFamilyToggleIV regenerates the §4 IPv4/IPv6 knob experiment.
 func BenchmarkFamilyToggleIV(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunFamilyKnob(context.Background(), parallel.Pool{}, uint64(i), 400); err != nil {
+		if _, err := experiments.RunFamilyKnob(context.Background(), parallel.Pool{}, uint64(i), experiments.WorldOptions{Hours: 400}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -538,7 +572,7 @@ func BenchmarkFamilyToggleIV(b *testing.B) {
 // BenchmarkDiDvsSC regenerates the DiD-vs-synthetic-control contrast.
 func BenchmarkDiDvsSC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunDiD(context.Background(), parallel.Pool{}, uint64(i)); err != nil {
+		if _, err := experiments.RunDiD(context.Background(), parallel.Pool{}, uint64(i), experiments.DiDOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}

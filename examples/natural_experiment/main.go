@@ -30,7 +30,7 @@ func main() {
 	fmt.Println()
 
 	fmt.Println("Step 2 — run the measurement campaign and estimate:")
-	res, err := experiments.RunInstrument(context.Background(), parallel.Default(), 42, 2000)
+	res, err := experiments.RunInstrument(context.Background(), parallel.Default(), 42, experiments.WorldOptions{Hours: 2000})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -22,7 +22,7 @@ func main() {
 	fmt.Println("Simulating the incident: a demand surge AND a total route withdrawal")
 	fmt.Println("land in the same half-day window. Which one took the users down?")
 	fmt.Println()
-	res, err := experiments.RunRootCause(context.Background(), parallel.Default(), 42)
+	res, err := experiments.RunRootCause(context.Background(), parallel.Default(), 42, experiments.RootCauseOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

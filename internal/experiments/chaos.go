@@ -104,13 +104,19 @@ type ChaosOptions struct {
 	// The fault-free base level must come first: p-value shifts are measured
 	// against the first level's placebo ranks.
 	Intensities []float64
-	// Scenario names the world every level runs on (default
-	// scenario.SouthAfricaID). Like Table1Config.Scenario it is identity,
-	// not parameters: it selects which world artifact the levels share.
-	Scenario string
+	// ScenarioChoice names the world every level runs on (default
+	// scenario.SouthAfricaID). Like Table1Config it is identity, not
+	// parameters: it selects which world artifact the levels share.
+	ScenarioChoice
 }
 
 func (ChaosOptions) experimentOptions() {}
+
+// WithScenario implements ScenarioOptions.
+func (o ChaosOptions) WithScenario(id string) Options {
+	o.Scenario = id
+	return o
+}
 
 // chaosDefaults are the registered E15 options.
 var chaosDefaults = ChaosOptions{Weeks: 4, JoinWeek: 2, Intensities: chaosIntensities}
@@ -134,8 +140,8 @@ func RunChaos(ctx context.Context, pool parallel.Pool, seed uint64, o ChaosOptio
 		cfg := Table1Config{
 			Weeks: o.Weeks, JoinWeek: o.JoinWeek, Seed: seed, Method: synthetic.Robust,
 			WithTruth: true, Faults: &fc,
-			Retry:    probe.RetryPolicy{MaxAttempts: 2},
-			Scenario: o.Scenario,
+			Retry:          probe.RetryPolicy{MaxAttempts: 2},
+			ScenarioChoice: ScenarioChoice{Scenario: o.Scenario},
 		}
 		t1, err := RunTable1(ctx, pool, cfg)
 		if err != nil {

@@ -50,8 +50,11 @@ func (r *ConfoundingResult) Render() string {
 // controller shifts to its backup transit under congestion, while the same
 // congestion inflates RTT. It compares naive, stratified, regression and
 // IPW estimates of the route's effect against the simulator's ground truth
-// obtained by pinning the route both ways at every sampled hour.
-func RunConfounding(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*ConfoundingResult, error) {
+// obtained by pinning the route both ways at every sampled hour. The world
+// comes from o.Scenario (default the South Africa world) and must cast a
+// multihomed eyeball.
+func RunConfounding(ctx context.Context, pool parallel.Pool, seed uint64, o WorldOptions) (*ConfoundingResult, error) {
+	hours := o.Hours
 	if hours <= 0 {
 		hours = 1500
 	}
@@ -60,7 +63,7 @@ func RunConfounding(ctx context.Context, pool parallel.Pool, seed uint64, hours 
 	var f *data.Frame
 	err := stagedRun(ctx, "confounding", func(ctx context.Context) error {
 		var err error
-		sim, err = confoundingScenario(ctx, pool, seed, hours)
+		sim, err = confoundingScenario(ctx, pool, scenarioOr(o.Scenario), seed, hours)
 		return err
 	}, func(ctx context.Context) error {
 		var err error
@@ -111,25 +114,32 @@ type confoundingSim struct {
 	trueN                     int
 }
 
-// confoundingScenario builds the South-Africa world with a load-adaptive
-// egress, simulates it, and collects the observational columns plus the
-// forced-route ground-truth contrast.
-func confoundingScenario(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*confoundingSim, error) {
-	s, rib, err := fetchWorld(ctx, pool, scenario.SouthAfricaID)
+// confoundingScenario builds the named world with a load-adaptive egress,
+// simulates it, and collects the observational columns plus the
+// forced-route ground-truth contrast. The world must cast a multihomed
+// eyeball (scenario.EyeballCast); worlds without one refuse with
+// scenario.ErrCastingMissing.
+func confoundingScenario(ctx context.Context, pool parallel.Pool, scenarioID string, seed uint64, hours int) (*confoundingSim, error) {
+	s, rib, err := fetchWorld(ctx, pool, scenarioID)
 	if err != nil {
 		return nil, err
 	}
+	cast, err := s.RequireEyeball()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: world %q: %w", scenarioID, err)
+	}
+	dst := s.MeasureDst()
 	e := engine.New(s.Topo, seed, engine.Config{AdaptiveEgress: true, Pool: pool, InitialRIB: rib}).Bind(ctx)
 
-	// AS3741's content routes prefer Transit-A (shorter path, lower ASN), so
-	// Transit-A is the primary egress. Recurring flash crowds on that link
-	// trigger load-adaptive shifts onto Transit-B — congestion causing the
-	// route change, the C → R edge of the running example.
+	// The eyeball's content routes prefer its primary transit (shorter path,
+	// lower ASN), so recurring flash crowds on that link trigger
+	// load-adaptive shifts onto the alternate — congestion causing the route
+	// change, the C → R edge of the running example.
 	rel, err := s.Topo.Relationships()
 	if err != nil {
 		return nil, err
 	}
-	primary := rel.Links[3741][scenario.ZATransitA][0]
+	primary := rel.Links[cast.ASN][cast.Primary][0]
 	rng := mathx.NewRNG(seed + 99)
 	for h := 24.0; h < float64(hours); h += 48 + 24*rng.Float64() {
 		e.Traffic.AddFlashCrowd(traffic.FlashCrowd{
@@ -137,7 +147,7 @@ func confoundingScenario(ctx context.Context, pool parallel.Pool, seed uint64, h
 		})
 	}
 
-	src, err := s.Topo.FindPoP(3741, "East London")
+	src, err := s.Topo.FindPoP(cast.ASN, cast.City)
 	if err != nil {
 		return nil, err
 	}
@@ -161,19 +171,19 @@ func confoundingScenario(ctx context.Context, pool parallel.Pool, seed uint64, h
 		var perf *engine.PathPerf
 		switch {
 		case flipRNG.Bernoulli(0.25):
-			v, err := observeForced(e, src, scenario.ZATransitB) // force primary A
+			v, err := observeForced(e, cast, dst, src, cast.Alternate) // force primary
 			if err != nil {
 				return nil, err
 			}
 			perf = v
 		case flipRNG.Bernoulli(1.0 / 3.0): // 0.25 of the original mass
-			v, err := observeForced(e, src, scenario.ZATransitA) // force alt B
+			v, err := observeForced(e, cast, dst, src, cast.Primary) // force alternate
 			if err != nil {
 				return nil, err
 			}
 			perf = v
 		default:
-			v, err := e.PerfToAS(src, scenario.BigContent)
+			v, err := e.PerfToAS(src, dst)
 			if err != nil {
 				return nil, err
 			}
@@ -181,7 +191,7 @@ func confoundingScenario(ctx context.Context, pool parallel.Pool, seed uint64, h
 		}
 		onAlt := 0.0
 		for _, asn := range perf.Path.ASPath {
-			if asn == scenario.ZATransitB {
+			if asn == cast.Alternate {
 				onAlt = 1
 			}
 		}
@@ -192,7 +202,7 @@ func confoundingScenario(ctx context.Context, pool parallel.Pool, seed uint64, h
 		sim.hourCol = append(sim.hourCol, e.Hour())
 
 		// Ground truth: force each route in turn, same instant, same noise.
-		prefA, prefB, err := forcedContrast(e, src)
+		prefA, prefB, err := forcedContrast(e, cast, dst, src)
 		if err != nil {
 			return nil, err
 		}
@@ -202,27 +212,27 @@ func confoundingScenario(ctx context.Context, pool parallel.Pool, seed uint64, h
 	return sim, nil
 }
 
-// observeForced measures AS3741's performance with the given transit
+// observeForced measures the eyeball's performance with the given transit
 // avoided for one instant, restoring the policy afterwards.
-func observeForced(e *engine.Engine, src topo.PoPID, avoid topo.ASN) (*engine.PathPerf, error) {
-	const asn = topo.ASN(3741)
-	restore := savePrefs(e, asn)
+func observeForced(e *engine.Engine, cast scenario.EyeballCast, dst topo.ASN, src topo.PoPID, avoid topo.ASN) (*engine.PathPerf, error) {
+	asn := cast.ASN
+	restore := savePrefs(e, asn, cast)
 	defer restore()
-	other := scenario.ZATransitA
-	if avoid == scenario.ZATransitA {
-		other = scenario.ZATransitB
+	other := cast.Primary
+	if avoid == cast.Primary {
+		other = cast.Alternate
 	}
 	e.Policy.SetLocalPref(asn, avoid, 10)
 	e.Policy.SetLocalPref(asn, other, bgp.PrefProvider)
 	e.MarkDirty()
-	return e.PerfToAS(src, scenario.BigContent)
+	return e.PerfToAS(src, dst)
 }
 
 // savePrefs snapshots AS a's local-pref overrides toward the two transits
 // and returns a restore function.
-func savePrefs(e *engine.Engine, asn topo.ASN) func() {
+func savePrefs(e *engine.Engine, asn topo.ASN, cast scenario.EyeballCast) func() {
 	saved := map[topo.ASN]*int{}
-	for _, n := range []topo.ASN{scenario.ZATransitA, scenario.ZATransitB} {
+	for _, n := range []topo.ASN{cast.Primary, cast.Alternate} {
 		if m := e.Policy.LocalPref[asn]; m != nil {
 			if v, ok := m[n]; ok {
 				vv := v
@@ -244,16 +254,16 @@ func savePrefs(e *engine.Engine, asn topo.ASN) func() {
 	}
 }
 
-// forcedContrast pins AS3741's egress to each transit in turn and measures
-// the true RTT under identical conditions: the do(R = alt) and
+// forcedContrast pins the eyeball's egress to each transit in turn and
+// measures the true RTT under identical conditions: the do(R = alt) and
 // do(R = primary) outcomes at this instant. Policy overrides are restored
 // afterwards so the factual trajectory is untouched.
-func forcedContrast(e *engine.Engine, src topo.PoPID) (viaAlt, viaPrimary float64, err error) {
-	a, err := observeForced(e, src, scenario.ZATransitA) // avoid A → via B (alt)
+func forcedContrast(e *engine.Engine, cast scenario.EyeballCast, dst topo.ASN, src topo.PoPID) (viaAlt, viaPrimary float64, err error) {
+	a, err := observeForced(e, cast, dst, src, cast.Primary) // avoid primary → via alt
 	if err != nil {
 		return 0, 0, err
 	}
-	b, err := observeForced(e, src, scenario.ZATransitB) // avoid B → via A
+	b, err := observeForced(e, cast, dst, src, cast.Alternate) // avoid alt → via primary
 	if err != nil {
 		return 0, 0, err
 	}
@@ -269,7 +279,7 @@ func pathStrings(ps []dag.Path) []string {
 }
 
 func init() {
-	defaults := HorizonOptions{Hours: 1500}
+	defaults := WorldOptions{Hours: 1500}
 	register(Experiment{
 		ID:       "confounding",
 		Paper:    "§3 running example: adjusting for congestion when estimating route → latency",
@@ -279,7 +289,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			return RunConfounding(ctx, cfg.Pool, cfg.Seed, o.Hours)
+			return RunConfounding(ctx, cfg.Pool, cfg.Seed, o)
 		},
 	})
 }

@@ -10,7 +10,6 @@ import (
 	"sisyphus/internal/causal/scm"
 	"sisyphus/internal/mathx"
 	"sisyphus/internal/netsim/engine"
-	"sisyphus/internal/netsim/scenario"
 	"sisyphus/internal/netsim/traffic"
 	"sisyphus/internal/parallel"
 )
@@ -46,17 +45,26 @@ func (r *CounterfactualResult) Render() string {
 // hours of the confounded world, then answers the counterfactual for a
 // specific degraded hour where an exogenous policy event rerouted traffic.
 // The simulator replays the identical world without the event for truth.
-func RunCounterfactual(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*CounterfactualResult, error) {
+// The world comes from o.Scenario (default the South Africa world) and must
+// cast a multihomed eyeball.
+func RunCounterfactual(ctx context.Context, pool parallel.Pool, seed uint64, o WorldOptions) (*CounterfactualResult, error) {
+	hours := o.Hours
 	if hours <= 0 {
 		hours = 1200
 	}
+	scenarioID := scenarioOr(o.Scenario)
 	eventHour := float64(hours) - 200
 
 	run := func(withEvent bool) (*engine.Engine, []float64, []float64, []float64, error) {
-		s, rib, err := fetchWorld(ctx, pool, scenario.SouthAfricaID)
+		s, rib, err := fetchWorld(ctx, pool, scenarioID)
 		if err != nil {
 			return nil, nil, nil, nil, err
 		}
+		cast, err := s.RequireEyeball()
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("experiments: world %q: %w", scenarioID, err)
+		}
+		dst := s.MeasureDst()
 		e := engine.New(s.Topo, seed, engine.Config{Pool: pool, InitialRIB: rib}).Bind(ctx)
 		rel, err := s.Topo.Relationships()
 		if err != nil {
@@ -66,7 +74,10 @@ func RunCounterfactual(ctx context.Context, pool parallel.Pool, seed uint64, hou
 		// it degrades BOTH candidate routes equally: the reroute's causal
 		// effect is the (small, constant) path-length difference, while
 		// congestion drives the visible spikes. Same seeds in both worlds.
-		shared := rel.Links[scenario.BigContent][scenario.ZATransitA][0]
+		shared, err := cast.SharedUplink.Resolve(rel)
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("experiments: world %q: %w", scenarioID, err)
+		}
 		crowdRNG := mathx.NewRNG(seed + 1)
 		for h := 30.0; h < float64(hours); h += 50 + 40*crowdRNG.Float64() {
 			e.Traffic.AddFlashCrowd(traffic.FlashCrowd{
@@ -83,15 +94,15 @@ func RunCounterfactual(ctx context.Context, pool parallel.Pool, seed uint64, hou
 		flipRNG := mathx.NewRNG(seed + 2)
 		for h := 40.0; h < eventHour-30; h += 60 + 80*flipRNG.Float64() {
 			dur := 4 + 8*flipRNG.Float64()
-			e.Schedule(engine.EvSetLocalPref(h, 3741, scenario.ZATransitB, 400))
-			e.Schedule(engine.EvSetLocalPref(h+dur, 3741, scenario.ZATransitB, 100))
+			e.Schedule(engine.EvSetLocalPref(h, cast.ASN, cast.Alternate, 400))
+			e.Schedule(engine.EvSetLocalPref(h+dur, cast.ASN, cast.Alternate, 100))
 		}
 		if withEvent {
 			// The reroute under scrutiny: an exogenous local-pref flip at
-			// eventHour moves AS3741's traffic onto Transit-B.
-			e.Schedule(engine.EvSetLocalPref(eventHour, 3741, scenario.ZATransitB, 400))
+			// eventHour moves the eyeball's traffic onto its alternate.
+			e.Schedule(engine.EvSetLocalPref(eventHour, cast.ASN, cast.Alternate, 400))
 		}
-		src, err := s.Topo.FindPoP(3741, "East London")
+		src, err := s.Topo.FindPoP(cast.ASN, cast.City)
 		if err != nil {
 			return nil, nil, nil, nil, err
 		}
@@ -103,13 +114,13 @@ func RunCounterfactual(ctx context.Context, pool parallel.Pool, seed uint64, hou
 			if err := e.Step(); err != nil {
 				return nil, nil, nil, nil, err
 			}
-			perf, err := e.PerfToAS(src, scenario.BigContent)
+			perf, err := e.PerfToAS(src, dst)
 			if err != nil {
 				return nil, nil, nil, nil, err
 			}
 			onAlt := 0.0
 			for _, asn := range perf.Path.ASPath {
-				if asn == scenario.ZATransitB {
+				if asn == cast.Alternate {
 					onAlt = 1
 				}
 			}
@@ -175,7 +186,7 @@ func RunCounterfactual(ctx context.Context, pool parallel.Pool, seed uint64, hou
 }
 
 func init() {
-	defaults := HorizonOptions{Hours: 1200}
+	defaults := WorldOptions{Hours: 1200}
 	register(Experiment{
 		ID:       "counterfactual",
 		Paper:    "§3 counterfactual: abduction–action–prediction vs ground-truth replay",
@@ -185,7 +196,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			return RunCounterfactual(ctx, cfg.Pool, cfg.Seed, o.Hours)
+			return RunCounterfactual(ctx, cfg.Pool, cfg.Seed, o)
 		},
 	})
 }

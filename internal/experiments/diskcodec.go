@@ -20,9 +20,12 @@ import (
 // code change when VCS stamping is available; these versions are the manual
 // override that works everywhere.
 const (
-	worldCodecVersion    = "world-gob-v1"
+	// v2: scenario.Export gained the casting fields (Eyeball, MLab, Outage,
+	// FailureCandidates), which ride in the world payload and inside every
+	// campaign payload.
+	worldCodecVersion    = "world-gob-v2"
 	ribCodecVersion      = "rib-gob-v1"
-	campaignCodecVersion = "campaign-gob-v1"
+	campaignCodecVersion = "campaign-gob-v2"
 )
 
 // The payloads are gob over map-free export structs whose slices are in

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"sisyphus/internal/artifact"
+	"sisyphus/internal/netsim/scenario"
 	"sisyphus/internal/obs"
 	"sisyphus/internal/parallel"
 	"sisyphus/internal/pipeline"
@@ -77,14 +78,69 @@ func noOptions(id string, cfg Config) error {
 }
 
 // HorizonOptions is the shared options type for the single-knob simulation
-// experiments (confounding, collider, mlab, instrument, intent,
-// counterfactual, familyknob): how many simulated hours to run. Each
-// experiment registers its own default horizon.
+// experiments that run on purpose-built boards rather than a registry world
+// (collider, intent): how many simulated hours to run. Each experiment
+// registers its own default horizon.
 type HorizonOptions struct {
 	Hours int
 }
 
 func (HorizonOptions) experimentOptions() {}
+
+// ScenarioChoice is the embeddable scenario coordinate for the options of
+// scenario-capable experiments. The field is `json:"-"` on purpose: the
+// scenario is addressed by the artifact-key/scenario coordinate (the
+// -scenario flag, the ?scenario= parameter, a sweep column), never by the
+// options document, so an options JSON round trip is byte-identical whether
+// or not a scenario was chosen. Embedding it gives an options type the
+// field and the ScenarioID getter; the type completes the ScenarioOptions
+// capability by adding its own one-line WithScenario.
+type ScenarioChoice struct {
+	// Scenario names the registered world to run on; empty means the
+	// default Table 1 world (scenario.SouthAfricaID).
+	Scenario string `json:"-"`
+}
+
+// ScenarioID returns the chosen world id ("" = the default world).
+func (c ScenarioChoice) ScenarioID() string { return c.Scenario }
+
+// scenarioOr resolves an options scenario field to a concrete world id:
+// empty means the default Table 1 world.
+func scenarioOr(id string) string {
+	if id == "" {
+		return scenario.SouthAfricaID
+	}
+	return id
+}
+
+// ScenarioOptions is the capability interface scenario-generic experiments
+// implement on their options: the registry asks the options value itself
+// whether (and how) it can be retargeted at a world, instead of keeping a
+// hard-coded list of capable experiment ids.
+type ScenarioOptions interface {
+	Options
+	// ScenarioID is the chosen world id; empty means the default world.
+	ScenarioID() string
+	// WithScenario returns a copy of the options retargeted at the world.
+	WithScenario(id string) Options
+}
+
+// WorldOptions is the shared options type for the registry-world simulation
+// experiments (confounding, counterfactual, familyknob, instrument, mlab):
+// the world to run on plus how many simulated hours to run. Each experiment
+// registers its own default horizon.
+type WorldOptions struct {
+	ScenarioChoice
+	Hours int
+}
+
+func (WorldOptions) experimentOptions() {}
+
+// WithScenario implements ScenarioOptions.
+func (o WorldOptions) WithScenario(id string) Options {
+	o.Scenario = id
+	return o
+}
 
 // Experiment is a runnable reproduction unit.
 type Experiment struct {
@@ -109,11 +165,10 @@ func (e Experiment) Header() string {
 }
 
 // OptionsForScenario returns the experiment's default options retargeted at
-// the named world, for experiments whose options carry a scenario id
-// (table1, chaos). The rest of the suite is cast-specific — it reaches into
-// named ASes of the South Africa world — and errors here, which is what
-// makes `-scenario`/`-sweep` validation a typed refusal instead of a wrong
-// answer on the wrong world.
+// the named world, for experiments whose options implement ScenarioOptions.
+// The rest of the suite runs on purpose-built boards (or a fixed two-era
+// contrast) and errors here, which is what makes `-scenario`/`-sweep`
+// validation a typed refusal instead of a wrong answer on the wrong world.
 func (e Experiment) OptionsForScenario(id string) (Options, error) {
 	o, err := OptionsWithScenario(e.Defaults, id)
 	if err != nil {
@@ -123,13 +178,12 @@ func (e Experiment) OptionsForScenario(id string) (Options, error) {
 	return o, nil
 }
 
-// ScenarioCapableIDs lists the experiments whose options accept a scenario
-// id, sorted.
+// ScenarioCapableIDs lists the experiments whose options implement the
+// ScenarioOptions capability, sorted.
 func ScenarioCapableIDs() []string {
 	var out []string
 	for _, e := range All() {
-		switch e.Defaults.(type) {
-		case Table1Config, ChaosOptions:
+		if _, ok := e.Defaults.(ScenarioOptions); ok {
 			out = append(out, e.ID)
 		}
 	}

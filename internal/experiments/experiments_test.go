@@ -113,7 +113,7 @@ func TestTable1DetectsTreatmentFromHops(t *testing.T) {
 }
 
 func TestConfoundingRecoversGroundTruth(t *testing.T) {
-	res, err := RunConfounding(context.Background(), parallel.Pool{}, 7, 900)
+	res, err := RunConfounding(context.Background(), parallel.Pool{}, 7, WorldOptions{Hours: 900})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestCellularSignReversal(t *testing.T) {
 }
 
 func TestMLabRandomizationUnbiased(t *testing.T) {
-	res, err := RunMLab(context.Background(), parallel.Pool{}, 7, 1500)
+	res, err := RunMLab(context.Background(), parallel.Pool{}, 7, WorldOptions{Hours: 1500})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestMLabRandomizationUnbiased(t *testing.T) {
 }
 
 func TestInstrumentValidBeatsInvalid(t *testing.T) {
-	res, err := RunInstrument(context.Background(), parallel.Pool{}, 7, 1500)
+	res, err := RunInstrument(context.Background(), parallel.Pool{}, 7, WorldOptions{Hours: 1500})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +213,7 @@ func TestInstrumentValidBeatsInvalid(t *testing.T) {
 }
 
 func TestCounterfactualAgreesWithReplay(t *testing.T) {
-	res, err := RunCounterfactual(context.Background(), parallel.Pool{}, 7, 800)
+	res, err := RunCounterfactual(context.Background(), parallel.Pool{}, 7, WorldOptions{Hours: 800})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +232,7 @@ func TestCounterfactualAgreesWithReplay(t *testing.T) {
 }
 
 func TestExposureIsNotImpact(t *testing.T) {
-	res, err := RunExposure(context.Background(), parallel.Pool{}, 7)
+	res, err := RunExposure(context.Background(), parallel.Pool{}, 7, ExposureOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +297,7 @@ func TestAllRegisteredExperimentsRun(t *testing.T) {
 }
 
 func TestRootCauseAttribution(t *testing.T) {
-	res, err := RunRootCause(context.Background(), parallel.Pool{}, 5)
+	res, err := RunRootCause(context.Background(), parallel.Pool{}, 5, RootCauseOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +322,7 @@ func TestRootCauseAttribution(t *testing.T) {
 }
 
 func TestFamilyKnobIVMatchesTruth(t *testing.T) {
-	res, err := RunFamilyKnob(context.Background(), parallel.Pool{}, 4, 700)
+	res, err := RunFamilyKnob(context.Background(), parallel.Pool{}, 4, WorldOptions{Hours: 700})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,11 +339,11 @@ func TestFamilyKnobIVMatchesTruth(t *testing.T) {
 }
 
 func TestDiDAndSCAgreeOnDirection(t *testing.T) {
-	res, err := RunDiD(context.Background(), parallel.Pool{}, 4)
+	res, err := RunDiD(context.Background(), parallel.Pool{}, 4, DiDOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Samples == 0 {
+	if res.TestCount == 0 {
 		t.Fatal("no samples")
 	}
 	// Both estimators must agree with the ground truth's sign and be within

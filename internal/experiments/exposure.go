@@ -47,10 +47,26 @@ func (r *ExposureResult) Render() string {
 		r.Pairs, r.RankFlips, t.String())
 }
 
-// RunExposure sweeps candidate link failures in the South Africa world.
-// For each: static exposure = paths crossing the link now; dynamic impact =
-// reachability and RTT after the control plane reconverges without it.
-func RunExposure(ctx context.Context, pool parallel.Pool, seed uint64) (*ExposureResult, error) {
+// ExposureOptions parameterizes the cable-cut sweep: just the world to run
+// on. The candidate failures come from the world's failure-candidate cast.
+type ExposureOptions struct {
+	ScenarioChoice
+}
+
+func (ExposureOptions) experimentOptions() {}
+
+// WithScenario implements ScenarioOptions.
+func (o ExposureOptions) WithScenario(id string) Options {
+	o.Scenario = id
+	return o
+}
+
+// RunExposure sweeps the world's cast candidate link failures. For each:
+// static exposure = paths crossing the link now; dynamic impact =
+// reachability and RTT after the control plane reconverges without it. The
+// world comes from o.Scenario (default the South Africa world) and must
+// cast at least two failure candidates.
+func RunExposure(ctx context.Context, pool parallel.Pool, seed uint64, o ExposureOptions) (*ExposureResult, error) {
 	type pair struct {
 		src topo.PoPID
 		u   scenario.Unit
@@ -59,19 +75,25 @@ func RunExposure(ctx context.Context, pool parallel.Pool, seed uint64) (*Exposur
 		name string
 		id   topo.LinkID
 	}
+	scenarioID := scenarioOr(o.Scenario)
 	res := &ExposureResult{}
 	var s *scenario.World
 	var e *engine.Engine
+	var dst topo.ASN
 	var pairs []pair
 	var candidates []candidate
 	paths := make(map[topo.PoPID]*bgp.Path)
 	baseRTT := make(map[topo.PoPID]float64)
 	err := stagedRun(ctx, "exposure", func(ctx context.Context) error {
-		s2, rib, err := fetchWorld(ctx, pool, scenario.SouthAfricaID)
+		s2, rib, err := fetchWorld(ctx, pool, scenarioID)
 		if err != nil {
 			return err
 		}
 		s = s2
+		if _, err := s.RequireFailureCandidates(); err != nil {
+			return fmt.Errorf("experiments: world %q: %w", scenarioID, err)
+		}
+		dst = s.MeasureDst()
 		e = engine.New(s.Topo, seed, engine.Config{Pool: pool, InitialRIB: rib}).Bind(ctx)
 		if err := e.RunUntil(12); err != nil {
 			return err
@@ -81,7 +103,7 @@ func RunExposure(ctx context.Context, pool parallel.Pool, seed uint64) (*Exposur
 		_, err = e.RIB()
 		return err
 	}, func(ctx context.Context) error {
-		// The measurement pairs: every unit to BigContent, with their
+		// The measurement pairs: every unit to the content target, with their
 		// pre-failure paths and RTTs — the static view exposure analysis has.
 		for _, u := range s.AllUnits() {
 			src, err := s.UserPoP(u)
@@ -91,27 +113,28 @@ func RunExposure(ctx context.Context, pool parallel.Pool, seed uint64) (*Exposur
 			pairs = append(pairs, pair{src, u})
 		}
 		for _, p := range pairs {
-			perf, err := e.PerfToAS(p.src, scenario.BigContent)
+			perf, err := e.PerfToAS(p.src, dst)
 			if err != nil {
 				return err
 			}
 			paths[p.src] = perf.Path
 			baseRTT[p.src] = perf.RTTms
 		}
-		// Candidate failures: the backbone-facing and inter-transit links.
+		// Candidate failures: the world's cast list, resolved to link ids.
 		rel, err := s.Topo.Relationships()
 		if err != nil {
 			return err
 		}
-		candidates = []candidate{
-			{"TransitA–Backbone (JNB)", rel.Links[scenario.ZATransitA][scenario.EuroBackbone][0]},
-			{"TransitB–Backbone (JNB)", rel.Links[scenario.ZATransitB][scenario.EuroBackbone][0]},
-			{"TransitA–TransitB peering", rel.Links[scenario.ZATransitA][scenario.ZATransitB][0]},
-			{"BigContent–TransitA (JNB)", rel.Links[scenario.BigContent][scenario.ZATransitA][0]},
-			{"BigContent–TransitA (DUR)", rel.Links[scenario.BigContent][scenario.ZATransitA][1]},
-			// Single-homed access tails: tiny exposure, total impact.
-			{"Donor16637 access", rel.Links[16637][scenario.ZATransitA][0]},
-			{"Donor327700 access", rel.Links[327700][scenario.ZATransitB][0]},
+		fcs, err := s.RequireFailureCandidates()
+		if err != nil {
+			return fmt.Errorf("experiments: world %q: %w", scenarioID, err)
+		}
+		for _, fc := range fcs {
+			id, err := fc.Link.Resolve(rel)
+			if err != nil {
+				return fmt.Errorf("experiments: world %q: candidate %q: %w", scenarioID, fc.Name, err)
+			}
+			candidates = append(candidates, candidate{fc.Name, id})
 		}
 		res.Pairs = len(pairs)
 		return nil
@@ -134,7 +157,7 @@ func RunExposure(ctx context.Context, pool parallel.Pool, seed uint64) (*Exposur
 			var shiftSum float64
 			var shiftN int
 			for _, p := range pairs {
-				perf, err := e.PerfToAS(p.src, scenario.BigContent)
+				perf, err := e.PerfToAS(p.src, dst)
 				if err != nil {
 					row.Unreachable++
 					continue
@@ -178,14 +201,17 @@ func RunExposure(ctx context.Context, pool parallel.Pool, seed uint64) (*Exposur
 }
 
 func init() {
+	defaults := ExposureOptions{}
 	register(Experiment{
-		ID:    "exposure",
-		Paper: "§3 Xaminer box: static exposure vs post-reconvergence impact",
+		ID:       "exposure",
+		Paper:    "§3 Xaminer box: static exposure vs post-reconvergence impact",
+		Defaults: defaults,
 		Run: func(ctx context.Context, cfg Config) (Renderable, error) {
-			if err := noOptions("exposure", cfg); err != nil {
+			o, err := optionsOr(cfg, defaults)
+			if err != nil {
 				return nil, err
 			}
-			return RunExposure(ctx, cfg.Pool, cfg.Seed)
+			return RunExposure(ctx, cfg.Pool, cfg.Seed, o)
 		},
 	})
 }

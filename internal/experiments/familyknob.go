@@ -8,7 +8,6 @@ import (
 	"sisyphus/internal/causal/estimate"
 	"sisyphus/internal/mathx"
 	"sisyphus/internal/netsim/engine"
-	"sisyphus/internal/netsim/scenario"
 	"sisyphus/internal/netsim/traffic"
 	"sisyphus/internal/parallel"
 	"sisyphus/internal/platform"
@@ -43,12 +42,15 @@ func (r *FamilyKnobResult) Render() string {
 	return fmt.Sprintf("IPv4/IPv6 toggle as a designed instrument (§4 proposal 3)\n(%d tests, family randomized per test)\n\n%s", r.Tests, t.String())
 }
 
-// RunFamilyKnob wires the experiment: the v6 plane of AS3741 is pinned to
-// Transit-B while v4 follows the endogenous (congestion-coupled, adaptive)
-// default. Each hour the client flips a fair coin for the family. Because
-// the coin is independent of network state, family ⊥ congestion — a valid
-// instrument even though route choice itself is endogenous on v4.
-func RunFamilyKnob(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*FamilyKnobResult, error) {
+// RunFamilyKnob wires the experiment: the v6 plane of the cast eyeball is
+// pinned to its alternate transit while v4 follows the endogenous
+// (congestion-coupled, adaptive) default. Each hour the client flips a fair
+// coin for the family. Because the coin is independent of network state,
+// family ⊥ congestion — a valid instrument even though route choice itself
+// is endogenous on v4. The world comes from o.Scenario (default the South
+// Africa world) and must cast a multihomed eyeball.
+func RunFamilyKnob(ctx context.Context, pool parallel.Pool, seed uint64, o WorldOptions) (*FamilyKnobResult, error) {
+	hours := o.Hours
 	if hours <= 0 {
 		hours = 1500
 	}
@@ -57,7 +59,7 @@ func RunFamilyKnob(ctx context.Context, pool parallel.Pool, seed uint64, hours i
 	var f *data.Frame
 	err := stagedRun(ctx, "familyknob", func(ctx context.Context) error {
 		var err error
-		sim, err = familyKnobScenario(ctx, pool, seed, hours)
+		sim, err = familyKnobScenario(ctx, pool, scenarioOr(o.Scenario), seed, hours)
 		return err
 	}, func(ctx context.Context) error {
 		var err error
@@ -88,12 +90,18 @@ type familyKnobSim struct {
 }
 
 // familyKnobScenario pins the v6 plane to the alternate transit and runs the
-// per-hour randomized family toggles.
-func familyKnobScenario(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*familyKnobSim, error) {
-	s, rib, err := fetchWorld(ctx, pool, scenario.SouthAfricaID)
+// per-hour randomized family toggles. The world must cast a multihomed
+// eyeball (scenario.EyeballCast).
+func familyKnobScenario(ctx context.Context, pool parallel.Pool, scenarioID string, seed uint64, hours int) (*familyKnobSim, error) {
+	s, rib, err := fetchWorld(ctx, pool, scenarioID)
 	if err != nil {
 		return nil, err
 	}
+	cast, err := s.RequireEyeball()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: world %q: %w", scenarioID, err)
+	}
+	dst := s.MeasureDst()
 	e := engine.New(s.Topo, seed, engine.Config{AdaptiveEgress: true, Pool: pool, InitialRIB: rib}).Bind(ctx)
 	pr := probe.NewProber(e, seed+1)
 	knobs := platform.NewKnobs(pr, seed+2)
@@ -102,7 +110,7 @@ func familyKnobScenario(ctx context.Context, pool parallel.Pool, seed uint64, ho
 	if err != nil {
 		return nil, err
 	}
-	primary := rel.Links[3741][scenario.ZATransitA][0]
+	primary := rel.Links[cast.ASN][cast.Primary][0]
 	crowdRNG := mathx.NewRNG(seed + 3)
 	for h := 30.0; h < float64(hours); h += 40 + 50*crowdRNG.Float64() {
 		e.Traffic.AddFlashCrowd(traffic.FlashCrowd{
@@ -110,11 +118,11 @@ func familyKnobScenario(ctx context.Context, pool parallel.Pool, seed uint64, ho
 		})
 	}
 	// Pin the v6 plane to the alternate transit for the whole study.
-	if _, err := knobs.ForceUpstreamFamily(engine.V6, 3741, scenario.ZATransitB); err != nil {
+	if _, err := knobs.ForceUpstreamFamily(engine.V6, cast.ASN, cast.Alternate); err != nil {
 		return nil, err
 	}
 
-	src, err := s.Topo.FindPoP(3741, "East London")
+	src, err := s.Topo.FindPoP(cast.ASN, cast.City)
 	if err != nil {
 		return nil, err
 	}
@@ -137,13 +145,13 @@ func familyKnobScenario(ctx context.Context, pool parallel.Pool, seed uint64, ho
 		if knobs.CoinFlip() {
 			fam, z = engine.V6, 1
 		}
-		m, err := pr.SpeedTestFamily(src, scenario.BigContent, fam, probe.IntentExperiment, "family-toggle")
+		m, err := pr.SpeedTestFamily(src, dst, fam, probe.IntentExperiment, "family-toggle")
 		if err != nil {
 			return nil, err
 		}
 		onAlt := 0.0
 		for _, asn := range m.ASPath {
-			if asn == scenario.ZATransitB {
+			if asn == cast.Alternate {
 				onAlt = 1
 			}
 		}
@@ -152,7 +160,7 @@ func familyKnobScenario(ctx context.Context, pool parallel.Pool, seed uint64, ho
 		sim.lCol = append(sim.lCol, m.RTTms)
 
 		if !inCrowd(e.Hour()) {
-			va, vp, err := forcedContrast(e, src)
+			va, vp, err := forcedContrast(e, cast, dst, src)
 			if err != nil {
 				return nil, err
 			}
@@ -164,7 +172,7 @@ func familyKnobScenario(ctx context.Context, pool parallel.Pool, seed uint64, ho
 }
 
 func init() {
-	defaults := HorizonOptions{Hours: 1500}
+	defaults := WorldOptions{Hours: 1500}
 	register(Experiment{
 		ID:       "familyknob",
 		Paper:    "§4 proposal 3: IPv4/IPv6 toggle as an exogenous-variation knob (instrument)",
@@ -174,7 +182,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			return RunFamilyKnob(ctx, cfg.Pool, cfg.Seed, o.Hours)
+			return RunFamilyKnob(ctx, cfg.Pool, cfg.Seed, o)
 		},
 	})
 }

@@ -9,7 +9,6 @@ import (
 	"sisyphus/internal/causal/estimate"
 	"sisyphus/internal/mathx"
 	"sisyphus/internal/netsim/engine"
-	"sisyphus/internal/netsim/scenario"
 	"sisyphus/internal/netsim/traffic"
 	"sisyphus/internal/parallel"
 )
@@ -41,12 +40,15 @@ func (r *IVResult) Render() string {
 		r.Hours, t.String(), r.DAGValid, r.DAGViolated)
 }
 
-// RunInstrument simulates AS3741's dual-homed egress where unobserved
-// congestion drives both route choice (adaptive egress) and RTT. Scheduled
-// maintenance windows on the primary transit link force reroutes at
-// exogenous times — a valid instrument. A second world couples the
-// "policy flip" to flash crowds, breaking the exclusion restriction.
-func RunInstrument(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*IVResult, error) {
+// RunInstrument simulates the cast eyeball's dual-homed egress where
+// unobserved congestion drives both route choice (adaptive egress) and RTT.
+// Scheduled maintenance windows on the primary transit link force reroutes
+// at exogenous times — a valid instrument. A second world couples the
+// "policy flip" to flash crowds, breaking the exclusion restriction. The
+// world comes from o.Scenario (default the South Africa world) and must
+// cast a multihomed eyeball.
+func RunInstrument(ctx context.Context, pool parallel.Pool, seed uint64, o WorldOptions) (*IVResult, error) {
+	hours := o.Hours
 	if hours <= 0 {
 		hours = 2000
 	}
@@ -55,7 +57,7 @@ func RunInstrument(ctx context.Context, pool parallel.Pool, seed uint64, hours i
 	var f *data.Frame
 	err := stagedRun(ctx, "instrument", func(ctx context.Context) error {
 		var err error
-		sim, err = instrumentScenario(ctx, pool, seed, hours)
+		sim, err = instrumentScenario(ctx, pool, scenarioOr(o.Scenario), seed, hours)
 		return err
 	}, func(ctx context.Context) error {
 		var err error
@@ -101,18 +103,24 @@ type ivSim struct {
 }
 
 // instrumentScenario builds the dual-homed world with unobserved congestion
-// and exogenous maintenance windows, then simulates it hour by hour.
-func instrumentScenario(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*ivSim, error) {
-	s, rib, err := fetchWorld(ctx, pool, scenario.SouthAfricaID)
+// and exogenous maintenance windows, then simulates it hour by hour. The
+// world must cast a multihomed eyeball (scenario.EyeballCast).
+func instrumentScenario(ctx context.Context, pool parallel.Pool, scenarioID string, seed uint64, hours int) (*ivSim, error) {
+	s, rib, err := fetchWorld(ctx, pool, scenarioID)
 	if err != nil {
 		return nil, err
 	}
+	cast, err := s.RequireEyeball()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: world %q: %w", scenarioID, err)
+	}
+	dst := s.MeasureDst()
 	e := engine.New(s.Topo, seed, engine.Config{AdaptiveEgress: true, Pool: pool, InitialRIB: rib}).Bind(ctx)
 	rel, err := s.Topo.Relationships()
 	if err != nil {
 		return nil, err
 	}
-	primary := rel.Links[3741][scenario.ZATransitA][0]
+	primary := rel.Links[cast.ASN][cast.Primary][0]
 
 	// Unobserved congestion: flash crowds on the primary link (the analyst
 	// in this experiment does NOT get a congestion column — that is what
@@ -138,7 +146,7 @@ func instrumentScenario(ctx context.Context, pool parallel.Pool, seed uint64, ho
 		maintWindows = append(maintWindows, [2]float64{h, h + dur})
 	}
 
-	src, err := s.Topo.FindPoP(3741, "East London")
+	src, err := s.Topo.FindPoP(cast.ASN, cast.City)
 	if err != nil {
 		return nil, err
 	}
@@ -160,13 +168,13 @@ func instrumentScenario(ctx context.Context, pool parallel.Pool, seed uint64, ho
 		if err := e.Step(); err != nil {
 			return nil, err
 		}
-		perf, err := e.PerfToAS(src, scenario.BigContent)
+		perf, err := e.PerfToAS(src, dst)
 		if err != nil {
 			return nil, err
 		}
 		onAlt := 0.0
 		for _, asn := range perf.Path.ASPath {
-			if asn == scenario.ZATransitB {
+			if asn == cast.Alternate {
 				onAlt = 1
 			}
 		}
@@ -188,7 +196,7 @@ func instrumentScenario(ctx context.Context, pool parallel.Pool, seed uint64, ho
 		// the effect is congestion-coupled, during maintenance the primary
 		// cannot be forced at all.
 		if maintNow == 0 && crowdNow == 0 {
-			va, vp, err := forcedContrast(e, src)
+			va, vp, err := forcedContrast(e, cast, dst, src)
 			if err != nil {
 				return nil, err
 			}
@@ -200,7 +208,7 @@ func instrumentScenario(ctx context.Context, pool parallel.Pool, seed uint64, ho
 }
 
 func init() {
-	defaults := HorizonOptions{Hours: 2000}
+	defaults := WorldOptions{Hours: 2000}
 	register(Experiment{
 		ID:       "instrument",
 		Paper:    "§3 natural experiments: maintenance as a valid IV, load-coupled policy as invalid",
@@ -210,7 +218,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			return RunInstrument(ctx, cfg.Pool, cfg.Seed, o.Hours)
+			return RunInstrument(ctx, cfg.Pool, cfg.Seed, o)
 		},
 	})
 }

@@ -34,6 +34,16 @@ func TestArtifactKeyStability(t *testing.T) {
 			campaignParamsFrom(Table1Config{Method: synthetic.Robust, WithTruth: true}.withDefaults(), true),
 			"campaign/southafrica/seed42/1de9d237ef4467d3fa4af38412a1704a1bb66e8fa89c83b3fbed81f03460a8b7",
 		},
+		{
+			// The default /query observational frame (scenario southafrica,
+			// hours 1500) at the golden seed. The scenario id rides in the
+			// key's Scenario coordinate — the same position the hard-coded
+			// SouthAfricaID occupied before the registry refactor — so the
+			// default-path hash must not move.
+			kindQueryFrame, scenario.SouthAfricaID, 42,
+			struct{ Hours int }{1500},
+			"qframe/southafrica/seed42/8738548ab6dc4e4a8992e272b774027e2ced4575bac6e0213e725f2202b10070",
+		},
 	}
 	for _, c := range cases {
 		k, err := artifact.NewKey(c.kind, c.scenarioID, c.seed, c.cfg)
@@ -52,8 +62,8 @@ func TestArtifactKeyStability(t *testing.T) {
 // redundant coordinate and break key stability across the registry
 // refactor.
 func TestScenarioFieldExcludedFromCampaignKey(t *testing.T) {
-	a := campaignParamsFrom(Table1Config{Scenario: scenario.SouthAfricaID}.withDefaults(), true)
-	b := campaignParamsFrom(Table1Config{Scenario: scenario.TromboneEraID}.withDefaults(), true)
+	a := campaignParamsFrom(Table1Config{ScenarioChoice: ScenarioChoice{Scenario: scenario.SouthAfricaID}}.withDefaults(), true)
+	b := campaignParamsFrom(Table1Config{ScenarioChoice: ScenarioChoice{Scenario: scenario.TromboneEraID}}.withDefaults(), true)
 	ka, err := artifact.NewKey(kindCampaign, "x", 1, a)
 	if err != nil {
 		t.Fatal(err)

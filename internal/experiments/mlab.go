@@ -8,7 +8,6 @@ import (
 	"sisyphus/internal/causal/estimate"
 	"sisyphus/internal/mathx"
 	"sisyphus/internal/netsim/engine"
-	"sisyphus/internal/netsim/scenario"
 	"sisyphus/internal/netsim/topo"
 	"sisyphus/internal/netsim/traffic"
 	"sisyphus/internal/parallel"
@@ -45,12 +44,14 @@ func (r *MLabResult) Render() string {
 	return fmt.Sprintf("M-Lab randomization (§3): load-balanced server assignment as an RCT\n(%d tests)\n\n%s", r.Tests, t.String())
 }
 
-// RunMLab simulates a Johannesburg metro with two M-Lab sites hosted in
-// different ASes. Site B's host sits behind a periodically congested
-// transit. Randomized assignment recovers the true routing contrast;
-// self-selected assignment (users on congested paths prefer site A) is
-// biased.
-func RunMLab(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*MLabResult, error) {
+// RunMLab simulates a metro with two M-Lab sites hosted in different ASes.
+// Site B's host sits behind a periodically congested transit. Randomized
+// assignment recovers the true routing contrast; self-selected assignment
+// (users on congested paths prefer site A) is biased. The world comes from
+// o.Scenario (default the South Africa world) and must cast an M-Lab metro
+// (scenario.MLabCast).
+func RunMLab(ctx context.Context, pool parallel.Pool, seed uint64, o WorldOptions) (*MLabResult, error) {
+	hours := o.Hours
 	if hours <= 0 {
 		hours = 1200
 	}
@@ -59,7 +60,7 @@ func RunMLab(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*
 	var fr, fs *data.Frame
 	err := stagedRun(ctx, "mlab", func(ctx context.Context) error {
 		var err error
-		sim, err = mlabScenario(ctx, pool, seed, hours)
+		sim, err = mlabScenario(ctx, pool, scenarioOr(o.Scenario), seed, hours)
 		return err
 	}, func(ctx context.Context) error {
 		var err error
@@ -97,23 +98,31 @@ type mlabSim struct {
 	trueN             int
 }
 
-// mlabScenario builds the Johannesburg metro with a periodically congested
-// site-B transit and simulates both assignment arms hour by hour.
-func mlabScenario(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*mlabSim, error) {
-	s, rib, err := fetchWorld(ctx, pool, scenario.SouthAfricaID)
+// mlabScenario builds the cast metro with a periodically congested site-B
+// transit and simulates both assignment arms hour by hour. The world must
+// cast an M-Lab metro (scenario.MLabCast) with two server ASes.
+func mlabScenario(ctx context.Context, pool parallel.Pool, scenarioID string, seed uint64, hours int) (*mlabSim, error) {
+	s, rib, err := fetchWorld(ctx, pool, scenarioID)
 	if err != nil {
 		return nil, err
+	}
+	cast, err := s.RequireMLab()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: world %q: %w", scenarioID, err)
 	}
 	e := engine.New(s.Topo, seed, engine.Config{Pool: pool, InitialRIB: rib}).Bind(ctx)
 	pr := probe.NewProber(e, seed+1)
 
-	// Congest the Transit-B side (which hosts MLabHostB) periodically.
+	// Congest the site-B side periodically.
 	rel, err := s.Topo.Relationships()
 	if err != nil {
 		return nil, err
 	}
 	crowdRNG := mathx.NewRNG(seed + 2)
-	hostBLink := rel.Links[scenario.MLabHostB][scenario.ZATransitB][0]
+	hostBLink, err := cast.CongestedUplink.Resolve(rel)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: world %q: %w", scenarioID, err)
+	}
 	for h := 12.0; h < float64(hours); h += 30 + 40*crowdRNG.Float64() {
 		e.Traffic.AddFlashCrowd(traffic.FlashCrowd{
 			Link: hostBLink, StartHour: h, Hours: 8 + 8*crowdRNG.Float64(), Magnitude: 0.3 + 0.2*crowdRNG.Float64(),
@@ -122,17 +131,17 @@ func mlabScenario(ctx context.Context, pool parallel.Pool, seed uint64, hours in
 
 	var servers []topo.PoPID
 	for _, asn := range s.MLabServerASNs {
-		id, err := s.Topo.FindPoP(asn, "Johannesburg")
+		id, err := s.Topo.FindPoP(asn, cast.ServerCity)
 		if err != nil {
 			return nil, err
 		}
 		servers = append(servers, id)
 	}
-	lb, err := platform.NewMLabPool("jnb", servers, seed+3)
+	lb, err := platform.NewMLabPool("metro", servers, seed+3)
 	if err != nil {
 		return nil, err
 	}
-	user, err := s.Topo.FindPoP(328745, "Johannesburg")
+	user, err := s.Topo.FindPoP(cast.UserASN, cast.UserCity)
 	if err != nil {
 		return nil, err
 	}
@@ -190,7 +199,7 @@ func mlabScenario(ctx context.Context, pool parallel.Pool, seed uint64, hours in
 }
 
 func init() {
-	defaults := HorizonOptions{Hours: 1200}
+	defaults := WorldOptions{Hours: 1200}
 	register(Experiment{
 		ID:       "mlab",
 		Paper:    "§3 randomization: M-Lab load balancing as a randomized experiment",
@@ -200,7 +209,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			return RunMLab(ctx, cfg.Pool, cfg.Seed, o.Hours)
+			return RunMLab(ctx, cfg.Pool, cfg.Seed, o)
 		},
 	})
 }

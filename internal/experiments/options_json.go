@@ -66,20 +66,16 @@ func truncateForErr(b []byte) string {
 }
 
 // OptionsWithScenario retargets typed options at the named world, for the
-// experiments whose options carry a scenario id (table1, chaos). Non-
-// scenario-capable options refuse with the capable list — the same typed
-// refusal OptionsForScenario gives for defaults, shared here so the CLI's
-// -scenario flag and the serving layer's ?scenario= parameter cannot drift.
+// experiments whose options implement the ScenarioOptions capability.
+// Non-scenario-capable options refuse with the capable list — the same
+// typed refusal OptionsForScenario gives for defaults, shared here so the
+// CLI's -scenario flag and the serving layer's ?scenario= parameter cannot
+// drift.
 func OptionsWithScenario(o Options, id string) (Options, error) {
-	switch t := o.(type) {
-	case Table1Config:
-		t.Scenario = id
-		return t, nil
-	case ChaosOptions:
-		t.Scenario = id
-		return t, nil
-	default:
+	so, ok := o.(ScenarioOptions)
+	if !ok {
 		return nil, fmt.Errorf("experiments: %T does not take a scenario (scenario-capable: %s)",
 			o, strings.Join(ScenarioCapableIDs(), ", "))
 	}
+	return so.WithScenario(id), nil
 }

@@ -38,8 +38,8 @@ func TestOptionsFromJSONPartial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.(HorizonOptions).Hours != 123 {
-		t.Errorf("Hours = %d, want 123", got.(HorizonOptions).Hours)
+	if got.(WorldOptions).Hours != 123 {
+		t.Errorf("Hours = %d, want 123", got.(WorldOptions).Hours)
 	}
 
 	// table1 has many fields; setting one must leave the rest at defaults.
@@ -68,7 +68,7 @@ func TestOptionsFromJSONErrors(t *testing.T) {
 		{"wrong type", "confounding", `{"Hours": "ten"}`, "Hours"},
 		{"trailing data", "confounding", `{} {}`, "trailing data"},
 		{"array not object", "confounding", `[1,2]`, "confounding options"},
-		{"options on optionless", "rootcause", `{"Hours": 5}`, "takes no options"},
+		{"options on optionless", "tromboneera", `{"Hours": 5}`, "takes no options"},
 		{"scenario field is unreachable", "table1", `{"Scenario": "x"}`, "Scenario"},
 	}
 	for _, tc := range cases {
@@ -95,7 +95,7 @@ func TestOptionsFromJSONEmpty(t *testing.T) {
 		if !reflect.DeepEqual(got, registry["confounding"].Defaults) {
 			t.Errorf("%q: got %+v, want registered defaults", raw, got)
 		}
-		if got, err := OptionsFromJSON("rootcause", []byte(raw)); err != nil || got != nil {
+		if got, err := OptionsFromJSON("tromboneera", []byte(raw)); err != nil || got != nil {
 			t.Errorf("%q on optionless experiment: got (%v, %v), want (nil, nil)", raw, got, err)
 		}
 	}

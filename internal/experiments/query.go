@@ -82,9 +82,11 @@ type CausalQuery struct {
 	// Auto records whether the adjustment set was identified rather than
 	// supplied.
 	Auto bool
-	// Scenario is the world id; only the South Africa cast carries the
-	// running example's load-adaptive egress, so it is the only legal
-	// value today.
+	// Scenario names the world the substrate simulates: any registered id
+	// or a gen: spec (which registers on compile). The default is the
+	// South Africa world. Worlds that do not cast a multihomed eyeball
+	// compile fine but refuse at run time with scenario.ErrCastingMissing
+	// — not identifiable on that world, not a malformed question.
 	Scenario string
 	// Seed roots all simulation randomness, as everywhere else.
 	Seed uint64
@@ -231,10 +233,11 @@ func CompileCausalQuery(q CausalQuery) (*QueryPlan, error) {
 	if q.Treatment == q.Outcome {
 		return nil, queryInvalidf("treatment and outcome must differ")
 	}
-	if q.Scenario != scenario.SouthAfricaID {
-		return nil, queryInvalidf("scenario %q is not servable: the observational substrate is cast-specific (supported: %s)",
-			q.Scenario, scenario.SouthAfricaID)
+	resolved, err := scenario.ResolveID(q.Scenario)
+	if err != nil {
+		return nil, queryInvalidf("scenario: %v", err)
 	}
+	q.Scenario = resolved
 	if q.Hours < QueryMinHours || q.Hours > QueryMaxHours {
 		return nil, queryInvalidf("hours %d out of range [%d, %d]", q.Hours, QueryMinHours, QueryMaxHours)
 	}
@@ -402,7 +405,7 @@ func RunCausalQuery(ctx context.Context, cfg Config, q CausalQuery) (*QueryResul
 	var f *data.Frame
 	err = stagedRun(ctx, "query", func(ctx context.Context) error {
 		var err error
-		frame, err = fetchQueryFrame(ctx, cfg.Pool, q.Seed, q.Hours)
+		frame, err = fetchQueryFrame(ctx, cfg.Pool, q.Scenario, q.Seed, q.Hours)
 		return err
 	}, func(ctx context.Context) error {
 		var err error
@@ -494,21 +497,23 @@ const (
 )
 
 // fetchQueryFrame returns a caller-owned observational frame for
-// ⟨seed, hours⟩, through the artifact store when one rides the context
-// (singleflight: concurrent identical queries share one simulation) and by
-// direct build otherwise — byte-identical either way.
-func fetchQueryFrame(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*queryFrame, error) {
+// ⟨scenario, seed, hours⟩, through the artifact store when one rides the
+// context (singleflight: concurrent identical queries share one simulation)
+// and by direct build otherwise — byte-identical either way. The scenario id
+// sits in the key's scenario coordinate, so the default-world key hashes
+// exactly as it did when the coordinate was hard-coded.
+func fetchQueryFrame(ctx context.Context, pool parallel.Pool, scenarioID string, seed uint64, hours int) (*queryFrame, error) {
 	st := artifact.From(ctx)
 	if st == nil {
-		return buildQueryFrame(ctx, pool, seed, hours)
+		return buildQueryFrame(ctx, pool, scenarioID, seed, hours)
 	}
-	key, err := artifact.NewKey(kindQueryFrame, scenario.SouthAfricaID, seed, struct{ Hours int }{hours})
+	key, err := artifact.NewKey(kindQueryFrame, scenarioID, seed, struct{ Hours int }{hours})
 	if err != nil {
 		return nil, err
 	}
 	return artifact.GetOrBuild(ctx, st, key, artifact.Spec[*queryFrame]{
 		Build: func(ctx context.Context) (*queryFrame, error) {
-			return buildQueryFrame(ctx, pool, seed, hours)
+			return buildQueryFrame(ctx, pool, scenarioID, seed, hours)
 		},
 		Fork: (*queryFrame).fork,
 		Size: (*queryFrame).sizeBytes,
@@ -529,8 +534,8 @@ func fetchQueryFrame(ctx context.Context, pool parallel.Pool, seed uint64, hours
 	})
 }
 
-func buildQueryFrame(ctx context.Context, pool parallel.Pool, seed uint64, hours int) (*queryFrame, error) {
-	sim, err := confoundingScenario(ctx, pool, seed, hours)
+func buildQueryFrame(ctx context.Context, pool parallel.Pool, scenarioID string, seed uint64, hours int) (*queryFrame, error) {
+	sim, err := confoundingScenario(ctx, pool, scenarioID, seed, hours)
 	if err != nil {
 		return nil, err
 	}

@@ -6,7 +6,6 @@ import (
 
 	"sisyphus/internal/mathx"
 	"sisyphus/internal/netsim/engine"
-	"sisyphus/internal/netsim/scenario"
 	"sisyphus/internal/netsim/topo"
 	"sisyphus/internal/netsim/traffic"
 	"sisyphus/internal/parallel"
@@ -59,12 +58,29 @@ exactly the distinction correlation alone could not draw.
 `, r.OutageHour, r.MedianRTTBefore, during, r.CorrCongestion, t.String())
 }
 
+// RootCauseOptions parameterizes the postmortem: just the world to run on.
+// The incident's surge links and cut providers come from the world's outage
+// cast.
+type RootCauseOptions struct {
+	ScenarioChoice
+}
+
+func (RootCauseOptions) experimentOptions() {}
+
+// WithScenario implements ScenarioOptions.
+func (o RootCauseOptions) WithScenario(id string) Options {
+	o.Scenario = id
+	return o
+}
+
 // RunRootCause builds the two-fault world and performs the counterfactual
-// attribution.
-func RunRootCause(ctx context.Context, pool parallel.Pool, seed uint64) (*RootCauseResult, error) {
+// attribution. The world comes from o.Scenario (default the South Africa
+// world) and must cast an outage (scenario.OutageCast).
+func RunRootCause(ctx context.Context, pool parallel.Pool, seed uint64, o RootCauseOptions) (*RootCauseResult, error) {
 	const horizon = 120.0
 	const outageHour = 60.0
 	const windowEnd = 90.0
+	scenarioID := scenarioOr(o.Scenario)
 
 	type worldOut struct {
 		unreachPerHour []float64
@@ -74,22 +90,32 @@ func RunRootCause(ctx context.Context, pool parallel.Pool, seed uint64) (*RootCa
 		totalUnreach   int
 	}
 	run := func(withCongestion, withCut bool) (*worldOut, error) {
-		s, rib, err := fetchWorld(ctx, pool, scenario.SouthAfricaID)
+		s, rib, err := fetchWorld(ctx, pool, scenarioID)
 		if err != nil {
 			return nil, err
 		}
+		cast, err := s.RequireOutage()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: world %q: %w", scenarioID, err)
+		}
+		content := s.MeasureDst()
 		e := engine.New(s.Topo, seed, engine.Config{Pool: pool, InitialRIB: rib}).Bind(ctx)
 		rel, err := s.Topo.Relationships()
 		if err != nil {
 			return nil, err
 		}
+		surge := make([]topo.LinkID, 0, len(cast.Surge))
+		for _, ref := range cast.Surge {
+			id, err := ref.Resolve(rel)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: world %q: surge link: %w", scenarioID, err)
+			}
+			surge = append(surge, id)
+		}
 		if withCongestion {
-			// The red herring: a demand surge on the two domestic transit
-			// interconnects, loud on every utilization dashboard.
-			for _, id := range []topo.LinkID{
-				rel.Links[scenario.ZATransitA][scenario.ZATransitB][0],
-				rel.Links[scenario.ZATransitA][scenario.EuroBackbone][0],
-			} {
+			// The red herring: a demand surge on the cast interconnects, loud
+			// on every utilization dashboard.
+			for _, id := range surge {
 				e.Traffic.AddFlashCrowd(traffic.FlashCrowd{
 					Link: id, StartHour: outageHour - 2, Hours: windowEnd - outageHour + 6, Magnitude: 0.4,
 				})
@@ -97,19 +123,21 @@ func RunRootCause(ctx context.Context, pool parallel.Pool, seed uint64) (*RootCa
 		}
 		if withCut {
 			// The actual cause: a configuration push withdraws every one of
-			// BigContent's uplinks at once — the Facebook-style total
-			// disappearance. (Its IXP peerings at this point connect only
-			// to other content networks, so they provide no transit.)
+			// the content network's transit uplinks at once — the
+			// Facebook-style total disappearance. (Its IXP peerings at this
+			// point connect only to other content networks, so they provide
+			// no transit.)
 			var cut []topo.LinkID
-			cut = append(cut, rel.Links[scenario.BigContent][scenario.ZATransitA]...)
-			cut = append(cut, rel.Links[scenario.BigContent][scenario.EuroBackbone]...)
+			for _, p := range cast.CutProviders {
+				cut = append(cut, rel.Links[content][p]...)
+			}
 			for _, id := range cut {
 				e.Schedule(engine.EvLinkDown(outageHour, id))
 				e.Schedule(engine.EvLinkUp(windowEnd, id))
 			}
 		}
 		out := &worldOut{}
-		congLink := rel.Links[scenario.ZATransitA][scenario.ZATransitB][0]
+		congLink := surge[0]
 		for e.Hour() < horizon {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -124,7 +152,7 @@ func RunRootCause(ctx context.Context, pool parallel.Pool, seed uint64) (*RootCa
 				if err != nil {
 					return nil, err
 				}
-				perf, err := e.PerfToAS(src, scenario.BigContent)
+				perf, err := e.PerfToAS(src, content)
 				if err != nil {
 					unreach++
 					continue
@@ -174,14 +202,17 @@ func RunRootCause(ctx context.Context, pool parallel.Pool, seed uint64) (*RootCa
 }
 
 func init() {
+	defaults := RootCauseOptions{}
 	register(Experiment{
-		ID:    "rootcause",
-		Paper: "§1 motivation: surface symptoms vs root causes (Facebook/Rogers)",
+		ID:       "rootcause",
+		Paper:    "§1 motivation: surface symptoms vs root causes (Facebook/Rogers)",
+		Defaults: defaults,
 		Run: func(ctx context.Context, cfg Config) (Renderable, error) {
-			if err := noOptions("rootcause", cfg); err != nil {
+			o, err := optionsOr(cfg, defaults)
+			if err != nil {
 				return nil, err
 			}
-			return RunRootCause(ctx, cfg.Pool, cfg.Seed)
+			return RunRootCause(ctx, cfg.Pool, cfg.Seed, o)
 		},
 	})
 }

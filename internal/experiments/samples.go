@@ -80,3 +80,96 @@ func (r *ChaosResult) Samples() []Sample {
 	}
 	return out
 }
+
+// estimateSample projects one estimate.Estimate-shaped outcome against the
+// run's ground truth: Bias = effect − truth, Coverage 1 (these runners
+// consume the full simulated panel; they have no fault-injection path).
+func estimateSample(estimator string, effect, truth, p float64) Sample {
+	return Sample{
+		Estimator: estimator,
+		Unit:      "world",
+		Bias:      NullableFloat(effect - truth),
+		PValue:    NullableFloat(p),
+		Coverage:  1,
+	}
+}
+
+// Samples projects the confounding panel: one sample per estimator, biased
+// against the forced-route ground truth.
+func (r *ConfoundingResult) Samples() []Sample {
+	return []Sample{
+		estimateSample("naive", r.Naive.Effect, r.TrueEffect, r.Naive.PValue()),
+		estimateSample("stratified", r.Stratified.Effect, r.TrueEffect, r.Stratified.PValue()),
+		estimateSample("regression", r.Regression.Effect, r.TrueEffect, r.Regression.PValue()),
+		estimateSample("ipw", r.IPW.Effect, r.TrueEffect, r.IPW.PValue()),
+	}
+}
+
+// Samples projects the counterfactual contrast: the fitted-SCM attribution
+// biased against the replay-truth attribution (p-values do not apply).
+func (r *CounterfactualResult) Samples() []Sample {
+	s := estimateSample("scm-counterfactual", r.AttributionSCM, r.AttributionTru, 0)
+	s.PValue = nanNullable()
+	return []Sample{s}
+}
+
+// Samples projects the family-knob IV panel against the calm-hour truth.
+func (r *FamilyKnobResult) Samples() []Sample {
+	naive := estimateSample("naive-ols", r.NaiveOLS.Effect, r.TrueEffect, 0)
+	naive.PValue = nanNullable()
+	iv := estimateSample("family-iv", r.FamilyIV.Effect, r.TrueEffect, 0)
+	iv.PValue = nanNullable()
+	return []Sample{naive, iv}
+}
+
+// Samples projects the instrument panel: the valid and invalid 2SLS fits
+// plus naive OLS, all against the complier ground truth.
+func (r *IVResult) Samples() []Sample {
+	naive := estimateSample("naive-ols", r.NaiveOLS.Effect, r.TrueEffect, 0)
+	naive.PValue = nanNullable()
+	valid := estimateSample("maintenance-iv", r.ValidIV.Effect, r.TrueEffect, 0)
+	valid.PValue = nanNullable()
+	invalid := estimateSample("load-coupled-iv", r.InvalidIV.Effect, r.TrueEffect, 0)
+	invalid.PValue = nanNullable()
+	return []Sample{naive, valid, invalid}
+}
+
+// Samples projects the M-Lab contrast: the randomized and self-selected
+// site contrasts against the direct-measurement truth.
+func (r *MLabResult) Samples() []Sample {
+	return []Sample{
+		estimateSample("randomized", r.Randomized.Effect, r.TrueEffect, r.Randomized.PValue()),
+		estimateSample("self-selected", r.SelfSelected.Effect, r.TrueEffect, r.SelfSelected.PValue()),
+	}
+}
+
+// Samples projects the exposure sweep: the rank-flip count is the scalar
+// that measures "exposure ≠ impact" on this world; truth is zero flips for
+// a world where exposure ranks impact perfectly, so Bias is the count
+// itself.
+func (r *ExposureResult) Samples() []Sample {
+	s := estimateSample("exposure-rank-flips", float64(r.RankFlips), 0, 0)
+	s.PValue = nanNullable()
+	return []Sample{s}
+}
+
+// Samples projects the postmortem: per-candidate residual unreachability
+// after counterfactually removing that candidate, biased against zero (the
+// residual a true single cause leaves when removed).
+func (r *RootCauseResult) Samples() []Sample {
+	noCong := estimateSample("residual@no-congestion", float64(r.WithoutCongestion), 0, 0)
+	noCong.PValue = nanNullable()
+	noCut := estimateSample("residual@no-cut", float64(r.WithoutLinkCut), 0, 0)
+	noCut.PValue = nanNullable()
+	return []Sample{noCong, noCut}
+}
+
+// Samples projects the DiD-vs-SC contrast: both pooled estimators against
+// the simulator's mean true effect.
+func (r *DiDResult) Samples() []Sample {
+	did := estimateSample("pooled-did", r.PooledDiD.Effect, r.TrueAverage, 0)
+	did.PValue = nanNullable()
+	sc := estimateSample("sc-average", r.SCAverage, r.TrueAverage, 0)
+	sc.PValue = nanNullable()
+	return []Sample{did, sc}
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"sisyphus/internal/netsim/scenario"
+	"sisyphus/internal/parallel"
+)
+
+// TestScenarioCapableSet pins which experiments take a scenario: the whole
+// §3+ battery plus the Table 1 family. Growing the list is expected when an
+// experiment gains the capability; shrinking it means a runner silently
+// lost worlds it used to support.
+func TestScenarioCapableSet(t *testing.T) {
+	want := []string{
+		"chaos", "confounding", "counterfactual", "did", "exposure",
+		"familyknob", "instrument", "mlab", "rootcause", "table1",
+	}
+	got := ScenarioCapableIDs()
+	if len(got) != len(want) {
+		t.Fatalf("ScenarioCapableIDs() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ScenarioCapableIDs() = %v, want %v", got, want)
+		}
+	}
+}
+
+// batteryWorld registers the battery's small synthetic internet: big enough
+// to cast every experiment (multihomed access tier, two content ASes),
+// small enough that the full runner battery stays cheap.
+func batteryWorld(t *testing.T) string {
+	t.Helper()
+	sp := scenario.DefaultGenSpec()
+	sp.Config.Tier2 = 4
+	sp.Config.Access = 6
+	sp.Config.Content = 2
+	sp.Config.Treated = 2
+	sp.Config.MultihomeProb = 1 // every access AS dual-homed ⇒ eyeball cast exists
+	sp.Seed = 7
+	id, err := scenario.RegisterGen(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// TestScenarioBatteryOnGeneratedWorld runs every newly scenario-capable
+// runner on a generated world at pool widths 1 and 4 and requires the
+// rendered text and JSON documents to be byte-identical — the same
+// any-width determinism contract the canned worlds have always had, now on
+// a world that exists only as a gen spec.
+func TestScenarioBatteryOnGeneratedWorld(t *testing.T) {
+	genID := batteryWorld(t)
+	sc := ScenarioChoice{Scenario: genID}
+	cases := []struct {
+		id   string
+		opts Options
+	}{
+		{"confounding", WorldOptions{ScenarioChoice: sc, Hours: 400}},
+		{"counterfactual", WorldOptions{ScenarioChoice: sc, Hours: 400}},
+		{"familyknob", WorldOptions{ScenarioChoice: sc, Hours: 400}},
+		{"instrument", WorldOptions{ScenarioChoice: sc, Hours: 500}},
+		{"mlab", WorldOptions{ScenarioChoice: sc, Hours: 400}},
+		{"exposure", ExposureOptions{ScenarioChoice: sc}},
+		{"rootcause", RootCauseOptions{ScenarioChoice: sc}},
+		{"did", DiDOptions{ScenarioChoice: sc}},
+	}
+	for _, c := range cases {
+		t.Run(c.id, func(t *testing.T) {
+			t.Parallel()
+			e, err := Get(c.id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(width int) (string, []byte) {
+				res, err := e.Run(context.Background(), Config{
+					Seed: 9, Pool: parallel.NewPool(width), Opts: c.opts,
+				})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", width, err)
+				}
+				doc, err := json.Marshal(res)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", width, err)
+				}
+				return res.Render(), doc
+			}
+			text1, doc1 := run(1)
+			text4, doc4 := run(4)
+			if text1 != text4 {
+				t.Errorf("rendered text differs between workers 1 and 4:\n--- w1 ---\n%s\n--- w4 ---\n%s", text1, text4)
+			}
+			if string(doc1) != string(doc4) {
+				t.Errorf("JSON differs between workers 1 and 4:\n--- w1 ---\n%s\n--- w4 ---\n%s", doc1, doc4)
+			}
+			if text1 == "" {
+				t.Error("empty render")
+			}
+		})
+	}
+}
+
+// TestScenarioRefusalOnCastingDeficientWorld: a generated world with no
+// multihomed access AS has no eyeball cast, so every eyeball-dependent
+// runner must refuse with the typed scenario.ErrCastingMissing — an
+// actionable error, never a panic or a silently wrong answer.
+func TestScenarioRefusalOnCastingDeficientWorld(t *testing.T) {
+	sp := scenario.DefaultGenSpec()
+	sp.Config.Tier2 = 4
+	sp.Config.Access = 6
+	sp.Config.Content = 2
+	sp.Config.Treated = 2
+	sp.Config.MultihomeProb = 0 // single-homed access tier ⇒ no eyeball cast
+	sp.Seed = 7
+	id, err := scenario.RegisterGen(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, expID := range []string{"confounding", "counterfactual", "familyknob", "instrument"} {
+		t.Run(expID, func(t *testing.T) {
+			e, err := Get(expID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts, err := e.OptionsForScenario(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = e.Run(context.Background(), Config{Seed: 3, Pool: parallel.Pool{}, Opts: opts})
+			if !errors.Is(err, scenario.ErrCastingMissing) {
+				t.Fatalf("err = %v, want scenario.ErrCastingMissing", err)
+			}
+		})
+	}
+}

@@ -37,12 +37,13 @@ type Table1Config struct {
 	// estimator has to shrug off. Zero disables.
 	FlapLink       topo.LinkID
 	FlapEveryHours float64
-	// Scenario names the world to run on (default scenario.SouthAfricaID);
-	// the trombone-era experiment passes scenario.TromboneEraID to run the
-	// identical pipeline on the historical topology. The id participates in
-	// the artifact key, not the serialized result (which predates the
-	// field), so it is omitted from JSON.
-	Scenario string `json:"-"`
+	// ScenarioChoice names the world to run on (default
+	// scenario.SouthAfricaID); the trombone-era experiment sets
+	// scenario.TromboneEraID to run the identical pipeline on the
+	// historical topology. The id participates in the artifact key, not the
+	// serialized result (which predates the field), so it is omitted from
+	// JSON (the embedded field is `json:"-"`).
+	ScenarioChoice
 	// Faults, when non-nil, installs a fault injector with this
 	// configuration on the measurement path (probe drops, vantage outages,
 	// truncation, timestamp skew, duplicate/reordered delivery). A non-nil
@@ -63,6 +64,12 @@ type Table1Config struct {
 // experiment (the did, chaos, and trombone-era experiments reuse the struct
 // with their own defaults).
 func (Table1Config) experimentOptions() {}
+
+// WithScenario implements ScenarioOptions.
+func (c Table1Config) WithScenario(id string) Options {
+	c.Scenario = id
+	return c
+}
 
 func (c Table1Config) withDefaults() Table1Config {
 	if c.Weeks <= 0 {

@@ -58,7 +58,7 @@ without re-modelling is how the field ends up pushing the same boulder.
 func RunTromboneEra(ctx context.Context, pool parallel.Pool, seed uint64) (*TromboneEraResult, error) {
 	era, err := RunTable1(ctx, pool, Table1Config{
 		Weeks: 4, JoinWeek: 2, Seed: seed, Method: synthetic.Robust,
-		Scenario: scenario.TromboneEraID,
+		ScenarioChoice: ScenarioChoice{Scenario: scenario.TromboneEraID},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: trombone era: %w", err)

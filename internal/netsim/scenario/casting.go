@@ -1,0 +1,218 @@
+// Castings: the world features an experiment's estimand needs, named as
+// data instead of hard-coded constants in runner bodies. A canned world
+// fills the casts its builder knows make sense; a generated world derives
+// them from its topology; a world without a given cast simply leaves it
+// nil, and runners that need it refuse with ErrCastingMissing — a typed,
+// actionable error instead of nonsense numbers on the wrong world.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+
+	"sisyphus/internal/netsim/topo"
+)
+
+// ErrCastingMissing is wrapped by every refusal to run an experiment on a
+// world lacking a required cast. Callers (the serve layer in particular)
+// detect it with errors.Is to distinguish "this world cannot answer that
+// question" from malformed input.
+var ErrCastingMissing = errors.New("scenario: world casting missing")
+
+// LinkRef names a link by its AS endpoints plus the index among the links
+// realizing that adjacency, the same coordinates experiments already use
+// (rel.Links[a][b][i]). Endpoint order is as the referring cast reads it;
+// Resolve accepts either orientation because adjacency is undirected.
+type LinkRef struct {
+	A, B  topo.ASN
+	Index int
+}
+
+func (lr LinkRef) String() string {
+	return fmt.Sprintf("AS%d–AS%d/%d", lr.A, lr.B, lr.Index)
+}
+
+// Resolve maps the reference onto a concrete link ID through the AS-level
+// adjacency summary.
+func (lr LinkRef) Resolve(rel *topo.ASRelationships) (topo.LinkID, error) {
+	ids := rel.Links[lr.A][lr.B]
+	if lr.Index < 0 || lr.Index >= len(ids) {
+		return 0, fmt.Errorf("scenario: link %s: adjacency has %d link(s)", lr, len(ids))
+	}
+	return ids[lr.Index], nil
+}
+
+// EyeballCast is the multihomed access network the §3-style route-choice
+// experiments (confounding, counterfactual, familyknob, instrument, and the
+// /query frame) observe: one access AS with two transit providers, the city
+// its users measure from, and the content-side uplink both egress routes
+// cross (the shared bottleneck the counterfactual replays congestion on).
+type EyeballCast struct {
+	ASN       topo.ASN
+	City      string
+	Primary   topo.ASN
+	Alternate topo.ASN
+	// SharedUplink is a content-side link on the path regardless of which
+	// transit the eyeball egresses through.
+	SharedUplink LinkRef
+}
+
+// MLabCast is the measurement-platform casting: a user AS and city, the
+// city hosting the platform's server sites (the server ASes themselves are
+// World.MLabServerASNs), and the uplink the self-selection story congests.
+type MLabCast struct {
+	UserASN         topo.ASN
+	UserCity        string
+	ServerCity      string
+	CongestedUplink LinkRef
+}
+
+// OutageCast is the postmortem casting: dashboard-loud congestion links
+// that did NOT cause the outage (Surge, with Surge[0] the one the
+// correlational triage fixates on) and the provider ASes whose links to the
+// measurement destination the outage actually cuts.
+type OutageCast struct {
+	Surge        []LinkRef
+	CutProviders []topo.ASN
+}
+
+// FailureCandidate is one named link in the exposure-vs-impact sweep.
+type FailureCandidate struct {
+	Name string
+	Link LinkRef
+}
+
+// RequireEyeball returns the eyeball cast or a typed refusal.
+func (s *World) RequireEyeball() (EyeballCast, error) {
+	if s.Eyeball == nil {
+		return EyeballCast{}, fmt.Errorf("%w: no multihomed-eyeball cast (needs an access AS with two transit providers; southafrica has one, generated worlds need multihome>0)", ErrCastingMissing)
+	}
+	return *s.Eyeball, nil
+}
+
+// RequireMLab returns the platform cast or a typed refusal. Two distinct
+// server ASes are part of the contract: randomized assignment must be able
+// to shift AS paths.
+func (s *World) RequireMLab() (MLabCast, error) {
+	if s.MLab == nil || len(s.MLabServerASNs) < 2 {
+		return MLabCast{}, fmt.Errorf("%w: no measurement-platform cast (needs two server-host ASes plus a user AS; southafrica has one, generated worlds need content>=2)", ErrCastingMissing)
+	}
+	return *s.MLab, nil
+}
+
+// RequireOutage returns the postmortem cast or a typed refusal.
+func (s *World) RequireOutage() (OutageCast, error) {
+	if s.Outage == nil || len(s.Outage.Surge) == 0 || len(s.Outage.CutProviders) == 0 {
+		return OutageCast{}, fmt.Errorf("%w: no outage cast (needs surge links and content providers to cut; southafrica and generated worlds have one)", ErrCastingMissing)
+	}
+	return *s.Outage, nil
+}
+
+// RequireFailureCandidates returns the exposure sweep's candidate list or a
+// typed refusal. Two candidates are the floor for a ranking to disagree
+// about.
+func (s *World) RequireFailureCandidates() ([]FailureCandidate, error) {
+	if len(s.FailureCandidates) < 2 {
+		return nil, fmt.Errorf("%w: fewer than two failure candidates to rank (southafrica and generated worlds cast them)", ErrCastingMissing)
+	}
+	return append([]FailureCandidate(nil), s.FailureCandidates...), nil
+}
+
+// forkOutage deep-copies the (small) outage cast.
+func forkOutage(o *OutageCast) *OutageCast {
+	if o == nil {
+		return nil
+	}
+	return &OutageCast{
+		Surge:        append([]LinkRef(nil), o.Surge...),
+		CutProviders: append([]topo.ASN(nil), o.CutProviders...),
+	}
+}
+
+func forkEyeball(e *EyeballCast) *EyeballCast {
+	if e == nil {
+		return nil
+	}
+	c := *e
+	return &c
+}
+
+func forkMLab(m *MLabCast) *MLabCast {
+	if m == nil {
+		return nil
+	}
+	c := *m
+	return &c
+}
+
+// validateCastings checks every present cast against the topology, so no
+// constructor hands out a world whose casts point at ASes, cities, or links
+// it does not contain.
+func (s *World) validateCastings(op string) error {
+	var rel *topo.ASRelationships
+	relOf := func() (*topo.ASRelationships, error) {
+		if rel != nil {
+			return rel, nil
+		}
+		var err error
+		rel, err = s.Topo.Relationships()
+		return rel, err
+	}
+	checkLink := func(what string, lr LinkRef) error {
+		r, err := relOf()
+		if err != nil {
+			return fmt.Errorf("scenario: %s: %s: %w", op, what, err)
+		}
+		if _, err := lr.Resolve(r); err != nil {
+			return fmt.Errorf("scenario: %s: %s: %w", op, what, err)
+		}
+		return nil
+	}
+	if e := s.Eyeball; e != nil {
+		if _, err := s.Topo.FindPoP(e.ASN, e.City); err != nil {
+			return fmt.Errorf("scenario: %s: eyeball cast: %w", op, err)
+		}
+		for _, asn := range []topo.ASN{e.Primary, e.Alternate} {
+			if _, err := s.Topo.AS(asn); err != nil {
+				return fmt.Errorf("scenario: %s: eyeball cast: %w", op, err)
+			}
+		}
+		if err := checkLink("eyeball cast shared uplink", e.SharedUplink); err != nil {
+			return err
+		}
+	}
+	if m := s.MLab; m != nil {
+		if _, err := s.Topo.FindPoP(m.UserASN, m.UserCity); err != nil {
+			return fmt.Errorf("scenario: %s: mlab cast: %w", op, err)
+		}
+		for _, asn := range s.MLabServerASNs {
+			if _, err := s.Topo.FindPoP(asn, m.ServerCity); err != nil {
+				return fmt.Errorf("scenario: %s: mlab cast: %w", op, err)
+			}
+		}
+		if err := checkLink("mlab cast congested uplink", m.CongestedUplink); err != nil {
+			return err
+		}
+	}
+	if o := s.Outage; o != nil {
+		for _, lr := range o.Surge {
+			if err := checkLink("outage cast surge", lr); err != nil {
+				return err
+			}
+		}
+		for _, asn := range o.CutProviders {
+			if _, err := s.Topo.AS(asn); err != nil {
+				return fmt.Errorf("scenario: %s: outage cast: %w", op, err)
+			}
+		}
+	}
+	for _, fc := range s.FailureCandidates {
+		if fc.Name == "" {
+			return fmt.Errorf("scenario: %s: failure candidate %s has no name", op, fc.Link)
+		}
+		if err := checkLink("failure candidate "+fc.Name, fc.Link); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -12,28 +12,36 @@ import (
 // no maps, so a deterministic encoder yields identical bytes for identical
 // worlds.
 type Export struct {
-	Topo           *topo.Export
-	IXPName        string
-	IXPPrefix      string
-	ContentASNs    []topo.ASN
-	Treated        []Unit
-	TreatedASNs    []topo.ASN
-	Donors         []Unit
-	MLabServerASNs []topo.ASN
+	Topo              *topo.Export
+	IXPName           string
+	IXPPrefix         string
+	ContentASNs       []topo.ASN
+	Treated           []Unit
+	TreatedASNs       []topo.ASN
+	Donors            []Unit
+	MLabServerASNs    []topo.ASN
+	Eyeball           *EyeballCast
+	MLab              *MLabCast
+	Outage            *OutageCast
+	FailureCandidates []FailureCandidate
 }
 
 // Export snapshots the scenario into its serialized form (read-only; safe
 // on frozen worlds).
 func (s *World) Export() *Export {
 	return &Export{
-		Topo:           s.Topo.Export(),
-		IXPName:        s.IXPName,
-		IXPPrefix:      s.IXPPrefix,
-		ContentASNs:    append([]topo.ASN(nil), s.ContentASNs...),
-		Treated:        append([]Unit(nil), s.Treated...),
-		TreatedASNs:    append([]topo.ASN(nil), s.TreatedASNs...),
-		Donors:         append([]Unit(nil), s.Donors...),
-		MLabServerASNs: append([]topo.ASN(nil), s.MLabServerASNs...),
+		Topo:              s.Topo.Export(),
+		IXPName:           s.IXPName,
+		IXPPrefix:         s.IXPPrefix,
+		ContentASNs:       append([]topo.ASN(nil), s.ContentASNs...),
+		Treated:           append([]Unit(nil), s.Treated...),
+		TreatedASNs:       append([]topo.ASN(nil), s.TreatedASNs...),
+		Donors:            append([]Unit(nil), s.Donors...),
+		MLabServerASNs:    append([]topo.ASN(nil), s.MLabServerASNs...),
+		Eyeball:           forkEyeball(s.Eyeball),
+		MLab:              forkMLab(s.MLab),
+		Outage:            forkOutage(s.Outage),
+		FailureCandidates: append([]FailureCandidate(nil), s.FailureCandidates...),
 	}
 }
 
@@ -51,14 +59,18 @@ func Import(e *Export) (*World, error) {
 		return nil, fmt.Errorf("scenario: import: %w", err)
 	}
 	s := &World{
-		Topo:           t,
-		IXPName:        e.IXPName,
-		IXPPrefix:      e.IXPPrefix,
-		ContentASNs:    append([]topo.ASN(nil), e.ContentASNs...),
-		Treated:        append([]Unit(nil), e.Treated...),
-		TreatedASNs:    append([]topo.ASN(nil), e.TreatedASNs...),
-		Donors:         append([]Unit(nil), e.Donors...),
-		MLabServerASNs: append([]topo.ASN(nil), e.MLabServerASNs...),
+		Topo:              t,
+		IXPName:           e.IXPName,
+		IXPPrefix:         e.IXPPrefix,
+		ContentASNs:       append([]topo.ASN(nil), e.ContentASNs...),
+		Treated:           append([]Unit(nil), e.Treated...),
+		TreatedASNs:       append([]topo.ASN(nil), e.TreatedASNs...),
+		Donors:            append([]Unit(nil), e.Donors...),
+		MLabServerASNs:    append([]topo.ASN(nil), e.MLabServerASNs...),
+		Eyeball:           forkEyeball(e.Eyeball),
+		MLab:              forkMLab(e.MLab),
+		Outage:            forkOutage(e.Outage),
+		FailureCandidates: append([]FailureCandidate(nil), e.FailureCandidates...),
 	}
 	if err := s.validate("import"); err != nil {
 		return nil, err

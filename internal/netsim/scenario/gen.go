@@ -11,6 +11,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -161,7 +162,110 @@ func BuildGenerated(sp GenSpec) (*World, error) {
 			s.Donors = append(s.Donors, u)
 		}
 	}
+	if err := castGenerated(s, x.City); err != nil {
+		return nil, fmt.Errorf("scenario: generate %s: %w", sp.ID(), err)
+	}
 	return s, nil
+}
+
+// castGenerated derives the optional castings from a generated world's own
+// topology, so any synthetic internet with the needed structure can host
+// the full experiment set. Every choice is deterministic — lowest-ASN-first
+// over sorted provider lists — because the world id is an artifact-key
+// coordinate. Worlds lacking the structure (no multihomed access AS, fewer
+// than two content ASes) leave the cast nil: the experiments needing it
+// refuse with ErrCastingMissing rather than measuring nonsense.
+func castGenerated(s *World, ixpCity string) error {
+	rel, err := s.Topo.Relationships()
+	if err != nil {
+		return err
+	}
+	providersOf := func(asn topo.ASN) []topo.ASN {
+		var out []topo.ASN
+		for b, k := range rel.Rel[asn] {
+			if k == topo.RelCustomer {
+				out = append(out, b)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+
+	content := s.MeasureDst()
+	cprovs := providersOf(content)
+	if len(cprovs) == 0 {
+		// A content AS without transit cannot anchor any cast; leave all nil.
+		return nil
+	}
+
+	// Eyeball: the first access unit (treated before donors, both in ASN
+	// order) whose AS has two transit providers.
+	for _, u := range s.AllUnits() {
+		provs := providersOf(u.ASN)
+		if len(provs) >= 2 {
+			s.Eyeball = &EyeballCast{
+				ASN: u.ASN, City: u.City,
+				Primary: provs[0], Alternate: provs[1],
+				SharedUplink: LinkRef{A: content, B: cprovs[0], Index: 0},
+			}
+			break
+		}
+	}
+
+	// Measurement platform: two content ASes host the server sites at the
+	// exchange city; the first treated AS (which has an exchange-city PoP by
+	// construction) is the user; the second site's uplink is the one the
+	// self-selection story congests.
+	if len(s.ContentASNs) >= 2 && len(s.TreatedASNs) > 0 {
+		siteB := s.ContentASNs[1]
+		bprovs := providersOf(siteB)
+		if len(bprovs) > 0 {
+			s.MLabServerASNs = []topo.ASN{s.ContentASNs[0], siteB}
+			s.MLab = &MLabCast{
+				UserASN: s.TreatedASNs[0], UserCity: ixpCity, ServerCity: ixpCity,
+				CongestedUplink: LinkRef{A: siteB, B: bprovs[0], Index: 0},
+			}
+		}
+	}
+
+	// Outage: the surge (the red herring) lands on the first treated AS's
+	// uplinks; the cut withdraws the content AS from all of its providers.
+	if len(s.TreatedASNs) > 0 {
+		t0 := s.TreatedASNs[0]
+		var surge []LinkRef
+		for _, p := range providersOf(t0) {
+			surge = append(surge, LinkRef{A: t0, B: p, Index: 0})
+		}
+		if len(surge) > 0 {
+			s.Outage = &OutageCast{Surge: surge, CutProviders: cprovs}
+		}
+	}
+
+	// Failure candidates: the content uplinks (high exposure) plus the first
+	// access tails from each casting group (tiny exposure, total impact for
+	// single-homed tails).
+	addTail := func(units []Unit, label string, n int) {
+		for i := 0; i < len(units) && i < n; i++ {
+			asn := units[i].ASN
+			provs := providersOf(asn)
+			if len(provs) == 0 {
+				continue
+			}
+			s.FailureCandidates = append(s.FailureCandidates, FailureCandidate{
+				Name: fmt.Sprintf("%s AS%d–AS%d", label, asn, provs[0]),
+				Link: LinkRef{A: asn, B: provs[0], Index: 0},
+			})
+		}
+	}
+	for _, p := range cprovs {
+		s.FailureCandidates = append(s.FailureCandidates, FailureCandidate{
+			Name: fmt.Sprintf("Content AS%d–AS%d", content, p),
+			Link: LinkRef{A: content, B: p, Index: 0},
+		})
+	}
+	addTail(s.Treated, "Access", 2)
+	addTail(s.Donors, "Donor", 2)
+	return nil
 }
 
 // ResolveID resolves a scenario token from a flag to a registered world id:

@@ -156,6 +156,34 @@ func BuildSouthAfrica() (*World, error) {
 		},
 		TreatedASNs:    []topo.ASN{3741, 37053, 37611, 37680, 327966, 328622, 328745},
 		MLabServerASNs: []topo.ASN{MLabHostA, MLabHostB},
+		// Castings: the world features the non-Table-1 experiments need,
+		// exactly the constants their runner bodies used to hard-code.
+		Eyeball: &EyeballCast{
+			ASN: 3741, City: "East London",
+			Primary: ZATransitA, Alternate: ZATransitB,
+			SharedUplink: LinkRef{A: BigContent, B: ZATransitA, Index: 0},
+		},
+		MLab: &MLabCast{
+			UserASN: 328745, UserCity: "Johannesburg", ServerCity: "Johannesburg",
+			CongestedUplink: LinkRef{A: MLabHostB, B: ZATransitB, Index: 0},
+		},
+		Outage: &OutageCast{
+			Surge: []LinkRef{
+				{A: ZATransitA, B: ZATransitB, Index: 0},
+				{A: ZATransitA, B: EuroBackbone, Index: 0},
+			},
+			CutProviders: []topo.ASN{ZATransitA, EuroBackbone},
+		},
+		FailureCandidates: []FailureCandidate{
+			{Name: "TransitA–Backbone (JNB)", Link: LinkRef{A: ZATransitA, B: EuroBackbone, Index: 0}},
+			{Name: "TransitB–Backbone (JNB)", Link: LinkRef{A: ZATransitB, B: EuroBackbone, Index: 0}},
+			{Name: "TransitA–TransitB peering", Link: LinkRef{A: ZATransitA, B: ZATransitB, Index: 0}},
+			{Name: "BigContent–TransitA (JNB)", Link: LinkRef{A: BigContent, B: ZATransitA, Index: 0}},
+			{Name: "BigContent–TransitA (DUR)", Link: LinkRef{A: BigContent, B: ZATransitA, Index: 1}},
+			// Single-homed access tails: tiny exposure, total impact.
+			{Name: "Donor16637 access", Link: LinkRef{A: 16637, B: ZATransitA, Index: 0}},
+			{Name: "Donor327700 access", Link: LinkRef{A: 327700, B: ZATransitB, Index: 0}},
+		},
 	}
 	for _, d := range donorDefs {
 		s.Donors = append(s.Donors, Unit{d.asn, d.homeCity})

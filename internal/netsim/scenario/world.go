@@ -44,6 +44,14 @@ type World struct {
 	// (distinct ASes so randomized assignment shifts AS paths); empty in
 	// worlds without an M-Lab casting.
 	MLabServerASNs []topo.ASN
+	// Eyeball, MLab, Outage, and FailureCandidates are optional castings
+	// (see casting.go): the world features that experiments beyond Table 1
+	// need. Nil/empty means the world cannot host the experiments requiring
+	// them, and those runners refuse with ErrCastingMissing.
+	Eyeball           *EyeballCast
+	MLab              *MLabCast
+	Outage            *OutageCast
+	FailureCandidates []FailureCandidate
 }
 
 // AllUnits returns treated then donor units.
@@ -78,9 +86,19 @@ func (s *World) Frozen() bool { return s.Topo.Frozen() }
 func (s *World) SizeBytes() int64 {
 	const perUnit = 40 // Unit struct + slice slot
 	const perASN = 8
+	const perCast = 64 // a cast struct (or candidate entry) + slice slot
 	n := s.Topo.SizeBytes()
 	n += int64(len(s.Treated)+len(s.Donors)) * perUnit
 	n += int64(len(s.ContentASNs)+len(s.TreatedASNs)+len(s.MLabServerASNs)) * perASN
+	for _, p := range []bool{s.Eyeball != nil, s.MLab != nil, s.Outage != nil} {
+		if p {
+			n += perCast
+		}
+	}
+	if s.Outage != nil {
+		n += int64(len(s.Outage.Surge)+len(s.Outage.CutProviders)) * perASN
+	}
+	n += int64(len(s.FailureCandidates)) * perCast
 	return n
 }
 
@@ -91,14 +109,18 @@ func (s *World) SizeBytes() int64 {
 // Required by the artifact store's copy-on-read rule.
 func (s *World) Fork() *World {
 	out := &World{
-		Topo:           s.Topo.Clone(),
-		IXPName:        s.IXPName,
-		IXPPrefix:      s.IXPPrefix,
-		ContentASNs:    append([]topo.ASN(nil), s.ContentASNs...),
-		Treated:        append([]Unit(nil), s.Treated...),
-		TreatedASNs:    append([]topo.ASN(nil), s.TreatedASNs...),
-		Donors:         append([]Unit(nil), s.Donors...),
-		MLabServerASNs: append([]topo.ASN(nil), s.MLabServerASNs...),
+		Topo:              s.Topo.Clone(),
+		IXPName:           s.IXPName,
+		IXPPrefix:         s.IXPPrefix,
+		ContentASNs:       append([]topo.ASN(nil), s.ContentASNs...),
+		Treated:           append([]Unit(nil), s.Treated...),
+		TreatedASNs:       append([]topo.ASN(nil), s.TreatedASNs...),
+		Donors:            append([]Unit(nil), s.Donors...),
+		MLabServerASNs:    append([]topo.ASN(nil), s.MLabServerASNs...),
+		Eyeball:           forkEyeball(s.Eyeball),
+		MLab:              forkMLab(s.MLab),
+		Outage:            forkOutage(s.Outage),
+		FailureCandidates: append([]FailureCandidate(nil), s.FailureCandidates...),
 	}
 	return out
 }
@@ -130,5 +152,5 @@ func (s *World) validate(op string) error {
 			}
 		}
 	}
-	return nil
+	return s.validateCastings(op)
 }

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// getAccept runs one GET through the handler with an Accept header set.
+func getAccept(t *testing.T, s *Server, path, accept string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// TestExperimentContentNegotiation tables the /experiment/{id}
+// representation contract: `Accept: text/plain` (alone, with parameters, or
+// anywhere in a media-range list) serves the CLI's text rendering
+// byte-for-byte; everything else keeps serving the JSON document. Both
+// representations are pinned against the committed seed-42 suite goldens,
+// so the server can never drift from `sisyphus -seed 42` in either format.
+func TestExperimentContentNegotiation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments over HTTP")
+	}
+	textDocs := splitGoldenDocs(t, "../experiments/testdata/all_seed42.golden.txt")
+	jsonDocs := splitGoldenDocs(t, "../experiments/testdata/all_seed42.golden.json")
+	s := newTestServer(t)
+	const id = "exposure" // cheap runner; the full sweep is covered elsewhere
+	cases := []struct {
+		name, accept string
+		wantText     bool
+	}{
+		{"no accept header", "", false},
+		{"json", "application/json", false},
+		{"wildcard", "*/*", false},
+		{"text plain", "text/plain", true},
+		{"text plain with params", "text/plain; q=0.9", true},
+		{"text plain in list", "application/json, text/plain", true},
+		{"other text type", "text/html", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := getAccept(t, s, "/experiment/"+id+"?seed=42", tc.accept)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+			}
+			wantCT, want := "application/json", jsonDocs[id]
+			if tc.wantText {
+				wantCT, want = "text/plain; charset=utf-8", textDocs[id]
+			}
+			if ct := rec.Header().Get("Content-Type"); ct != wantCT {
+				t.Errorf("Content-Type = %q, want %q", ct, wantCT)
+			}
+			if rec.Body.String() != string(want) {
+				t.Errorf("body differs from CLI golden:\n--- got ---\n%s\n--- want ---\n%s", rec.Body, want)
+			}
+		})
+	}
+
+	// The two representations cache under distinct artifact kinds: repeating
+	// both requests above must not rebuild anything, and neither kind can
+	// cross-serve the other's bytes.
+	builds := map[string]int64{}
+	for key, st := range s.cfg.Store.PerKey() {
+		if strings.HasPrefix(key.Kind, "response") {
+			builds[key.Kind] += st.Builds
+		}
+	}
+	if builds["response"] != 1 || builds["responsetext"] != 1 {
+		t.Errorf("response builds = %v, want one JSON and one text build", builds)
+	}
+}
+
+// TestQueryScenarioStatuses pins the /query status contract beyond the
+// default world: a gen: world with the confounding structure answers 200, a
+// casting-deficient gen: world is a well-formed but unanswerable question
+// (422, typed casting refusal), and an unresolvable scenario token stays a
+// plain 400. The three must never collapse into one status.
+func TestQueryScenarioStatuses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	s := newTestServer(t)
+	cases := []struct {
+		name, scenario string
+		status         int
+		contains       string
+	}{
+		{"generated world", "gen:tier2=4+access=6+content=2+treated=2+multihome=1+seed=7",
+			http.StatusOK, `"Rows": 120`},
+		{"casting-deficient world", "gen:tier2=4+access=6+content=2+treated=2+multihome=0+seed=7",
+			http.StatusUnprocessableEntity, "casting missing"},
+		{"unresolvable token", "atlantis", http.StatusBadRequest, "unknown scenario"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := post(t, s, `{"treatment":"R","outcome":"L","hours":120,"seed":7,"scenario":"`+tc.scenario+`"}`)
+			if rec.Code != tc.status {
+				t.Fatalf("status = %d, want %d (body %s)", rec.Code, tc.status, rec.Body)
+			}
+			if !strings.Contains(rec.Body.String(), tc.contains) {
+				t.Errorf("body %s does not contain %q", rec.Body, tc.contains)
+			}
+		})
+	}
+}

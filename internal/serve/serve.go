@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -41,6 +42,7 @@ import (
 // worlds, RIBs, campaigns and query frames underneath still persist.
 const (
 	kindResponse      = "response"
+	kindResponseText  = "responsetext"
 	kindQueryResponse = "queryresp"
 )
 
@@ -192,6 +194,11 @@ func statusFor(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, experiments.ErrNotIdentifiable):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, scenario.ErrCastingMissing):
+		// The request was well-formed and named a real world — the world
+		// just lacks the castings this experiment's estimand needs. Same
+		// shape as non-identifiability: a 422, not a caller mistake.
+		return http.StatusUnprocessableEntity
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -221,6 +228,32 @@ func writeDoc(w http.ResponseWriter, doc []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Length", strconv.Itoa(len(doc)))
 	w.Write(doc)
+}
+
+// writeText sends pre-rendered text-document bytes.
+func writeText(w http.ResponseWriter, doc []byte) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(len(doc)))
+	w.Write(doc)
+}
+
+// acceptsText reports whether an Accept header asks for the text rendering:
+// any listed media range whose type is text/plain (parameters and q-values
+// are ignored — the server has exactly two representations and text/plain
+// only appears when the caller wants it). Absent headers, */* and
+// application/json all keep the JSON default, which is what every pre-
+// negotiation client gets byte-identically.
+func acceptsText(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = strings.TrimSpace(mt[:i])
+		}
+		if strings.EqualFold(mt, "text/plain") {
+			return true
+		}
+	}
+	return false
 }
 
 // handleList serves the experiment catalogue.
@@ -331,6 +364,19 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		scenKey = id
 	}
 
+	// Content negotiation: Accept: text/plain serves the experiment's
+	// rendered table exactly as the CLI prints it (Render plus the trailing
+	// newline Println appends); everything else serves the JSON document.
+	// The two representations cache under distinct kinds so a text hit can
+	// never serve JSON bytes or vice versa.
+	kind, encode := kindResponse, encodeDoc
+	write := writeDoc
+	if acceptsText(r.Header.Get("Accept")) {
+		kind, write = kindResponseText, writeText
+		encode = func(res experiments.Renderable) ([]byte, error) {
+			return []byte(res.Render() + "\n"), nil
+		}
+	}
 	build := func(ctx context.Context) ([]byte, error) {
 		res, rerr := e.Run(ctx, experiments.Config{
 			Seed: seed, Pool: pool, Artifacts: s.cfg.Store, Opts: opts,
@@ -338,15 +384,15 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		if rerr != nil {
 			return nil, rerr
 		}
-		return encodeDoc(res)
+		return encode(res)
 	}
-	doc, err := s.cachedResponse(r.Context(), kindResponse, scenKey, seed,
+	doc, err := s.cachedResponse(r.Context(), kind, scenKey, seed,
 		respKeyConfig{Experiment: e.ID, Opts: opts}, build)
 	if err != nil {
 		writeError(w, statusFor(err), err.Error())
 		return
 	}
-	writeDoc(w, doc)
+	write(w, doc)
 }
 
 // respKeyConfig is the config hashed into a GET response's artifact key.

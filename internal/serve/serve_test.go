@@ -41,13 +41,13 @@ func post(t *testing.T, s *Server, body string) *httptest.ResponseRecorder {
 	return rec
 }
 
-// splitGoldenDocs parses the committed seed-42 suite golden —
-// `sisyphus -all -json -seed 42` byte-for-byte — into the per-experiment
-// JSON documents between its section headers. Those documents are exactly
-// what GET /experiment/{id}?seed=42 must serve.
-func splitGoldenDocs(t *testing.T) map[string][]byte {
+// splitGoldenDocs parses a committed seed-42 suite golden — `sisyphus -all
+// -seed 42` (with or without -json) byte-for-byte — into the per-experiment
+// documents between its section headers. Those documents are exactly what
+// GET /experiment/{id}?seed=42 must serve in the matching representation.
+func splitGoldenDocs(t *testing.T, path string) map[string][]byte {
 	t.Helper()
-	data, err := os.ReadFile("../experiments/testdata/all_seed42.golden.json")
+	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestExperimentResponsesMatchCLIGoldens(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full seed-42 suite over HTTP")
 	}
-	docs := splitGoldenDocs(t)
+	docs := splitGoldenDocs(t, "../experiments/testdata/all_seed42.golden.json")
 	for _, id := range experiments.IDs() {
 		if _, ok := docs[id]; !ok {
 			t.Fatalf("golden has no document for registered experiment %s; regenerate the golden", id)
@@ -146,11 +146,11 @@ func TestExperimentHandlerValidation(t *testing.T) {
 		{"workers too wide", "/experiment/mlab?workers=65", http.StatusBadRequest, "workers"},
 		{"opts malformed", "/experiment/mlab?opts={", http.StatusBadRequest, "options"},
 		{"opts unknown field", "/experiment/mlab?opts={\"Bogus\":1}", http.StatusBadRequest, "Bogus"},
-		{"opts on optionless experiment", "/experiment/rootcause?opts={\"Hours\":5}", http.StatusBadRequest, "takes no options"},
+		{"opts on optionless experiment", "/experiment/tromboneera?opts={\"Hours\":5}", http.StatusBadRequest, "takes no options"},
 		{"opts trailing garbage", "/experiment/mlab?opts={}{}", http.StatusBadRequest, "trailing data"},
 		{"scenario unknown id", "/experiment/table1?scenario=atlantis", http.StatusBadRequest, "atlantis"},
 		{"scenario bad gen spec", "/experiment/table1?scenario=gen:bogus%3D1", http.StatusBadRequest, "gen:"},
-		{"scenario on incapable experiment", "/experiment/mlab?scenario=southafrica", http.StatusBadRequest, "scenario-capable"},
+		{"scenario on incapable experiment", "/experiment/collider?scenario=southafrica", http.StatusBadRequest, "scenario-capable"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -196,7 +196,7 @@ func TestSweepValidation(t *testing.T) {
 		{"no seeds", func(c *GridConfig) { c.Seeds = nil }, "at least one"},
 		{"unknown experiment", func(c *GridConfig) { c.Experiments = []string{"nosuch"} }, "unknown experiment"},
 		{"unknown scenario", func(c *GridConfig) { c.Scenarios = []string{"nosuch"} }, "unknown scenario"},
-		{"non-scenario-capable", func(c *GridConfig) { c.Experiments = []string{"confounding"} }, "does not take a scenario"},
+		{"non-scenario-capable", func(c *GridConfig) { c.Experiments = []string{"collider"} }, "does not take a scenario"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
